@@ -1,0 +1,95 @@
+// Command spechint is the binary-modification tool as a CLI: it transforms
+// a VM program (an assembly file, or one of the built-in benchmark
+// applications) to perform speculative execution for I/O hint generation,
+// and reports the paper's Table 3 statistics.
+//
+// Usage:
+//
+//	spechint -file prog.s [-dis] [-no-stack-opt] [-keep-output]
+//	spechint -app agrep|gnuld|xds [-dis]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spechint/internal/apps"
+	"spechint/internal/asm"
+	"spechint/internal/spechint"
+	"spechint/internal/vm"
+)
+
+func main() {
+	var (
+		file       = flag.String("file", "", "assembly source file to transform")
+		app        = flag.String("app", "", "built-in benchmark to transform: agrep, gnuld, or xds")
+		dis        = flag.Bool("dis", false, "print the disassembly of the transformed program")
+		noStackOpt = flag.Bool("no-stack-opt", false, "disable the stack-copy optimization (check SP-relative accesses too)")
+		keepOutput = flag.Bool("keep-output", false, "keep output-routine calls in the shadow code")
+	)
+	flag.Parse()
+
+	var prog *vm.Program
+	var err error
+	switch {
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fail(rerr)
+		}
+		prog, err = asm.Assemble(string(src))
+	case *app != "":
+		var a apps.App
+		switch *app {
+		case "agrep":
+			a = apps.Agrep
+		case "gnuld":
+			a = apps.Gnuld
+		case "xds", "xdataslice":
+			a = apps.XDataSlice
+		default:
+			fail(fmt.Errorf("unknown app %q", *app))
+		}
+		var bundle *apps.Bundle
+		bundle, err = apps.Build(a, apps.FullScale())
+		if err == nil {
+			prog = bundle.Original
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	opt := spechint.DefaultOptions()
+	opt.StackCopyOptimization = !*noStackOpt
+	opt.RemoveOutputRoutines = !*keepOutput
+
+	out, st, err := spechint.Transform(prog, opt)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("transformed in %v\n", st.Elapsed)
+	fmt.Printf("  text:            %d -> %d instructions (%d -> %d bytes, +%.0f%%)\n",
+		st.OrigInstrs, st.TotalInstrs, st.OrigBytes, st.TotalBytes, st.SizeIncreasePct())
+	fmt.Printf("  COW checks:      %d inserted, %d SP-relative accesses skipped\n",
+		st.ChecksAdded, st.StackSkipped)
+	fmt.Printf("  control flow:    %d static redirects, %d dynamic-handler sites, %d recognized jump tables\n",
+		st.StaticJumps, st.DynamicJumps, st.TablesStatic)
+	fmt.Printf("  output routines: %d removed from shadow code\n", st.OutputCalls)
+	fmt.Printf("  hint sites:      %d read calls become hint generators\n", st.HintSites)
+
+	if *dis {
+		fmt.Println()
+		fmt.Print(asm.Disassemble(out))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "spechint: %v\n", err)
+	os.Exit(1)
+}

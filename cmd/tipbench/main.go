@@ -1,0 +1,84 @@
+// Command tipbench regenerates the paper's evaluation: it runs any (or all)
+// of the tables and figures from "Automatic I/O Hint Generation through
+// Speculative Execution" (OSDI '99) on the simulated testbed and prints
+// paper-style tables.
+//
+// Usage:
+//
+//	tipbench -list
+//	tipbench -exp fig3
+//	tipbench -exp table4,table5 -scale sweep
+//	tipbench -exp all          # everything, including the heavy sweeps
+//	tipbench -exp quick        # everything except the heavy sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"spechint/internal/apps"
+	"spechint/internal/bench"
+)
+
+func main() {
+	var (
+		expFlag   = flag.String("exp", "quick", "experiment id(s), comma separated; or 'all' / 'quick'")
+		scaleFlag = flag.String("scale", "full", "workload scale: full, sweep, or test")
+		listFlag  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		fmt.Println("available experiments:")
+		for _, n := range bench.Names() {
+			e := bench.Registry[n]
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy sweep)"
+			}
+			fmt.Printf("  %-12s %s%s\n", n, e.Desc, heavy)
+		}
+		return
+	}
+
+	var scale apps.Scale
+	switch *scaleFlag {
+	case "full":
+		scale = apps.FullScale()
+	case "sweep":
+		scale = apps.SweepScale()
+	case "test":
+		scale = apps.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "tipbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var names []string
+	switch *expFlag {
+	case "all":
+		names = bench.Names()
+	case "quick":
+		for _, n := range bench.Names() {
+			if !bench.Registry[n].Heavy {
+				names = append(names, n)
+			}
+		}
+	default:
+		names = strings.Split(*expFlag, ",")
+	}
+
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := bench.RunByName(name, scale, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,130 @@
+// Quickstart: the whole pipeline on a ten-line program.
+//
+// We write a tiny disk-bound application in the VM's assembly, run it
+// unmodified, then push it through SpecHint and run it again — watching the
+// speculating thread turn I/O stalls into hints and the hints into overlapped
+// prefetches.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spechint/internal/asm"
+	"spechint/internal/core"
+	"spechint/internal/fsim"
+	"spechint/internal/spechint"
+	"spechint/internal/workload"
+)
+
+const src = `
+; Read ten files end to end and checksum their bytes.
+.data
+buf:    .space 8192
+nfiles: .word 10
+files:  .word f0, f1, f2, f3, f4, f5, f6, f7, f8, f9
+f0: .asciz "data/part0"
+f1: .asciz "data/part1"
+f2: .asciz "data/part2"
+f3: .asciz "data/part3"
+f4: .asciz "data/part4"
+f5: .asciz "data/part5"
+f6: .asciz "data/part6"
+f7: .asciz "data/part7"
+f8: .asciz "data/part8"
+f9: .asciz "data/part9"
+.text
+main:
+    ldw  r20, nfiles
+    movi r21, files
+next:
+    beq  r20, r0, done
+    ldw  r1, (r21)
+    syscall open
+    mov  r10, r1
+loop:
+    mov  r1, r10
+    movi r2, buf
+    movi r3, 8192
+    syscall read
+    beq  r1, r0, eof
+    movi r4, buf
+    add  r5, r4, r1
+sum:
+    ldb  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 1
+    blt  r4, r5, sum
+    jmp  loop
+eof:
+    mov  r1, r10
+    syscall close
+    addi r21, r21, 8
+    addi r20, r20, -1
+    jmp  next
+done:
+    andi r1, r22, 0xffff
+    syscall exit
+`
+
+func buildFS() *fsim.FS {
+	fs := fsim.New(8192)
+	workload.SetBenchLayout(fs)
+	for i := 0; i < 10; i++ {
+		data := make([]byte, 20000+i*1000)
+		for j := range data {
+			data[j] = byte(i + j)
+		}
+		fs.MustCreate(fmt.Sprintf("data/part%d", i), data)
+	}
+	return fs
+}
+
+func main() {
+	prog := asm.MustAssemble(src)
+
+	// 1. Run the original application: every read that misses stalls.
+	orig, err := core.New(core.DefaultConfig(core.ModeNoHint), prog, buildFS())
+	if err != nil {
+		log.Fatal(err)
+	}
+	origStats, err := orig.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Transform it with SpecHint: shadow code + COW checks + redirects.
+	transformed, tstats, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SpecHint: %d -> %d instructions, %d COW checks, %d hint sites\n",
+		tstats.OrigInstrs, tstats.TotalInstrs, tstats.ChecksAdded, tstats.HintSites)
+
+	// 3. Run the speculating build on an identical (fresh) file system.
+	spec, err := core.New(core.DefaultConfig(core.ModeSpeculating), transformed, buildFS())
+	if err != nil {
+		log.Fatal(err)
+	}
+	specStats, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if origStats.ExitCode != specStats.ExitCode {
+		log.Fatalf("checksums diverged: %d vs %d", origStats.ExitCode, specStats.ExitCode)
+	}
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "original", "speculating")
+	fmt.Printf("%-22s %11.3fs %11.3fs\n", "elapsed (testbed s)", origStats.Seconds(), specStats.Seconds())
+	fmt.Printf("%-22s %12d %12d\n", "read calls", origStats.ReadCalls, specStats.ReadCalls)
+	fmt.Printf("%-22s %12d %12d\n", "hinted reads", origStats.HintedReads, specStats.HintedReads)
+	fmt.Printf("%-22s %12d %12d\n", "stall cycles", origStats.StallCycles(), specStats.StallCycles())
+	fmt.Printf("%-22s %12s %12d\n", "speculation restarts", "-", specStats.Restarts)
+	fmt.Printf("\nspeculative execution cut elapsed time by %.0f%%\n",
+		100*(1-float64(specStats.Elapsed)/float64(origStats.Elapsed)))
+	fmt.Printf("checksum: %d (identical in both runs — speculation is invisible)\n",
+		origStats.ExitCode)
+}

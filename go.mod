@@ -1,0 +1,3 @@
+module spechint
+
+go 1.22

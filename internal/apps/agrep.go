@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AgrepSource builds the Agrep benchmark (v2.04 in the paper): a full-text
+// search that loops through the files named on its command line, reading
+// each sequentially in 8 KB chunks and scanning for a pattern. The stream of
+// read calls is completely determined by the argument list, which is why
+// speculative execution hints nearly all of them.
+//
+// The manual variant inserts the paper's programmer hints: it disclosed the
+// whole file list up front (a few lines of code — Agrep was the easy case).
+//
+// Exit code: (full matches << 20) | (first-byte matches & 0xfffff).
+func AgrepSource(names []string, pattern string, manual bool) string {
+	var b strings.Builder
+	b.WriteString("; Agrep: sequential whole-file text search\n")
+	b.WriteString(".equ CHUNK 8192\n.data\nbuf: .space 8192\n")
+	fmt.Fprintf(&b, "pat: .asciz %q\n", pattern)
+	fmt.Fprintf(&b, "patlen: .word %d\n", len(pattern))
+	fmt.Fprintf(&b, "nfiles: .word %d\n", len(names))
+	b.WriteString("files: .word ")
+	for i := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "path%d", i)
+	}
+	b.WriteString("\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "path%d: .asciz %q\n", i, n)
+	}
+
+	b.WriteString(".text\nmain:\n")
+	if manual {
+		// TIPIO_SEG for every file, issued before any read.
+		b.WriteString(`
+    ldw  r20, nfiles
+    movi r21, files
+hintloop:
+    beq  r20, r0, hintdone
+    ldw  r1, (r21)
+    movi r2, 0
+    movi r3, 0x40000000   ; whole file (clamped to its size)
+    syscall hintfile
+    addi r21, r21, 8
+    addi r20, r20, -1
+    jmp  hintloop
+hintdone:
+`)
+	}
+	b.WriteString(`
+    ldw  r20, nfiles      ; remaining files
+    movi r21, files       ; cursor into the path table
+    movi r22, 0           ; full-match count
+    movi r23, 0           ; first-byte match count
+    ldb  r24, pat         ; first pattern byte
+    ldw  r25, patlen
+    movi r26, pat
+fileloop:
+    beq  r20, r0, done
+    ldw  r1, (r21)
+    syscall open
+    blt  r1, r0, badfile  ; open failed: skip (should not happen)
+    mov  r10, r1
+readloop:
+    mov  r1, r10
+    movi r2, buf
+    movi r3, CHUNK
+    syscall read
+    beq  r1, r0, eof
+    ; scan the chunk
+    movi r4, buf
+    add  r5, r4, r1       ; end of valid data
+scan:
+    ldb  r6, (r4)
+    bne  r6, r24, noc
+    addi r23, r23, 1
+    ; candidate: compare the rest of the pattern
+    movi r8, 1
+match:
+    bge  r8, r25, hit     ; matched every byte
+    add  r9, r4, r8
+    bge  r9, r5, noc      ; pattern would run off this chunk
+    ldb  r12, (r9)
+    add  r13, r26, r8
+    ldb  r14, (r13)
+    bne  r12, r14, noc
+    addi r8, r8, 1
+    jmp  match
+hit:
+    addi r22, r22, 1
+noc:
+    addi r4, r4, 1
+    blt  r4, r5, scan
+    jmp  readloop
+eof:
+    mov  r1, r10
+    syscall close
+badfile:
+    addi r21, r21, 8
+    addi r20, r20, -1
+    jmp  fileloop
+done:
+    shli r1, r22, 20
+    movi r2, 0xfffff
+    and  r3, r23, r2
+    or   r1, r1, r3
+    syscall exit
+`)
+	return b.String()
+}

@@ -1,0 +1,150 @@
+// Package apps contains the three TIP-suite benchmark applications as VM
+// assembly programs, each in two source variants:
+//
+//   - the original application (no hints) — SpecHint transforms this binary
+//     for the speculating runs, exactly as the paper transformed unmodified
+//     binaries;
+//   - the manually-modified application with programmer-inserted hint calls
+//     (the paper's comparison baseline), restructured where the paper's
+//     authors restructured (Gnuld batches its metadata passes so hints can
+//     be issued earlier).
+//
+// The applications are structurally faithful to the originals' access
+// patterns: Agrep's reads are fully determined by its argument list, Gnuld
+// chases pointers through object-file metadata, and XDataSlice's block
+// addresses are computable from one header read.
+package apps
+
+import (
+	"fmt"
+
+	"spechint/internal/asm"
+	"spechint/internal/fsim"
+	"spechint/internal/spechint"
+	"spechint/internal/vm"
+	"spechint/internal/workload"
+)
+
+// App identifies a benchmark application.
+type App int
+
+const (
+	Agrep App = iota
+	Gnuld
+	XDataSlice
+	Postgres
+)
+
+func (a App) String() string {
+	switch a {
+	case Agrep:
+		return "Agrep"
+	case Gnuld:
+		return "Gnuld"
+	case XDataSlice:
+		return "XDataSlice"
+	case Postgres:
+		return "Postgres"
+	}
+	return "unknown"
+}
+
+// Bundle is a fully prepared benchmark: file system plus the three program
+// variants (original, transformed, manual).
+type Bundle struct {
+	App         App
+	FS          *fsim.FS
+	Original    *vm.Program
+	Transformed *vm.Program
+	Manual      *vm.Program
+	Transform   spechint.Stats
+}
+
+// Build assembles and transforms both variants of app over a fresh file
+// system populated at the given scale.
+func Build(app App, scale Scale) (*Bundle, error) {
+	fs := fsim.New(8192)
+	workload.SetBenchLayout(fs)
+
+	var origSrc, manSrc string
+	switch app {
+	case Agrep:
+		spec := scale.Agrep
+		names := spec.Build(fs)
+		origSrc = AgrepSource(names, spec.Pattern, false)
+		manSrc = AgrepSource(names, spec.Pattern, true)
+	case Gnuld:
+		spec := scale.Gnuld
+		names := spec.Build(fs)
+		origSrc = GnuldSource(names, spec, false)
+		manSrc = GnuldSource(names, spec, true)
+	case XDataSlice:
+		spec := scale.XDS
+		name, slices := spec.Build(fs)
+		origSrc = XDSSource(name, slices, false)
+		manSrc = XDSSource(name, slices, true)
+	case Postgres:
+		spec := scale.Postgres
+		outer, inner := spec.Build(fs)
+		origSrc = PostgresSource(outer, inner, spec, false)
+		manSrc = PostgresSource(outer, inner, spec, true)
+	default:
+		return nil, fmt.Errorf("apps: unknown app %d", app)
+	}
+
+	orig, err := asm.Assemble(origSrc)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %v original: %w", app, err)
+	}
+	man, err := asm.Assemble(manSrc)
+	if err != nil {
+		return nil, fmt.Errorf("apps: %v manual: %w", app, err)
+	}
+	tp, tstats, err := spechint.Transform(orig, spechint.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("apps: %v transform: %w", app, err)
+	}
+	return &Bundle{
+		App: app, FS: fs,
+		Original: orig, Transformed: tp, Manual: man,
+		Transform: tstats,
+	}, nil
+}
+
+// Scale bundles the three workload specs so experiments can run at full
+// benchmark scale or at a small test scale.
+type Scale struct {
+	Agrep    workload.AgrepSpec
+	Gnuld    workload.GnuldSpec
+	XDS      workload.XDSSpec
+	Postgres workload.PostgresSpec
+}
+
+// FullScale is the benchmark scale used for the paper's tables and figures.
+func FullScale() Scale {
+	return Scale{
+		Agrep:    workload.DefaultAgrep(),
+		Gnuld:    workload.DefaultGnuld(),
+		XDS:      workload.DefaultXDS(),
+		Postgres: workload.DefaultPostgres(20),
+	}
+}
+
+// SweepScale is FullScale with lighter XDataSlice and Gnuld inputs, for the
+// parameter-sweep experiments (Figures 5 and 6 run dozens of full runs).
+func SweepScale() Scale {
+	s := FullScale()
+	s.XDS.NumSlices = 12
+	s.Gnuld.NumFiles = 120
+	return s
+}
+
+// TestScale is a small, fast scale for unit tests.
+func TestScale() Scale {
+	return Scale{
+		Agrep:    workload.AgrepSpec{NumFiles: 24, MeanSize: 7000, Pattern: "ENOTREACHED", Plants: 2, Seed: 1},
+		Gnuld:    workload.GnuldSpec{NumFiles: 12, NumSections: 3, SectionSize: 4000, SymtabSize: 512, StrtabSize: 256, Seed: 2},
+		XDS:      workload.XDSSpec{N: 64, NumSlices: 6, Seed: 3},
+		Postgres: workload.PostgresSpec{OuterTuples: 2000, InnerTuples: 4000, InnerSize: 256, Selectivity: 30, Seed: 4},
+	}
+}

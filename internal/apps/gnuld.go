@@ -1,0 +1,563 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"spechint/internal/workload"
+)
+
+// GnuldSource builds the Gnuld benchmark (GNU ld 2.5.2 in the paper): an
+// object-code linker whose reads chase pointers through metadata. For each
+// input object it reads the file header, then the symbol header (located by
+// the file header), then the symbol and string tables (located by the symbol
+// header), then up to nine small non-sequential debug reads (located by the
+// symbol table). Finally it loops over the non-debugging sections, reading
+// the corresponding section from every file, processing it, and writing
+// output. The read-to-read data dependencies are what limit speculative
+// hinting to about half the read calls in the paper.
+//
+// The manual variant reproduces the restructuring the paper describes: the
+// metadata walk is batched into breadth-first passes so that hints for every
+// file's next level can be issued before any of them is read.
+//
+// Exit code: checksum over debug chunks and section data, masked. Both
+// variants compute the identical checksum.
+func GnuldSource(names []string, spec workload.GnuldSpec, manual bool) string {
+	var b strings.Builder
+	nf := len(names)
+	ns := spec.NumSections
+	secBufSize := spec.SectionSize*2 + 4096
+
+	b.WriteString("; Gnuld: object-code linker with pointer-chained metadata\n")
+	fmt.Fprintf(&b, ".equ NFILES %d\n", nf)
+	fmt.Fprintf(&b, ".equ NSECT %d\n", ns)
+	fmt.Fprintf(&b, ".equ SECTSTRIDE %d\n", ns*workload.SectEntrySize)
+	fmt.Fprintf(&b, ".equ MAGIC %d\n", workload.ObjMagic)
+	b.WriteString(`.data
+hdrbuf:    .space 64
+symhdrbuf: .space 64
+dbgbuf:    .space 64
+`)
+	fmt.Fprintf(&b, "symtabbuf: .space %d\n", spec.SymtabSize)
+	fmt.Fprintf(&b, "strtabbuf: .space %d\n", spec.StrtabSize)
+	fmt.Fprintf(&b, "secbuf:    .space %d\n", secBufSize)
+	fmt.Fprintf(&b, "fds:       .space %d\n", nf*8)
+	fmt.Fprintf(&b, "secttabs:  .space %d\n", nf*ns*workload.SectEntrySize)
+	if manual {
+		// Per-file metadata gathered level by level: symhdroff, secttaboff,
+		// symtaboff, symtablen, strtaboff, strtablen, ndebug (64 B stride).
+		fmt.Fprintf(&b, "meta:      .space %d\n", nf*64)
+		fmt.Fprintf(&b, "dbgoffs:   .space %d\n", nf*workload.MaxDebug*8)
+	}
+	b.WriteString("files: .word ")
+	for i := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "path%d", i)
+	}
+	b.WriteString("\n")
+	for i, n := range names {
+		fmt.Fprintf(&b, "path%d: .asciz %q\n", i, n)
+	}
+
+	b.WriteString(".text\nmain:\n    movi r19, NFILES\n    movi r18, NSECT\n    movi r22, 0   ; checksum\n")
+	if manual {
+		b.WriteString(gnuldManualBody)
+	} else {
+		b.WriteString(gnuldOriginalBody)
+	}
+	return b.String()
+}
+
+// Shared helper fragments. Register conventions:
+//
+//	r19 = NFILES, r18 = NSECT (constants)
+//	r20 = file index, r23 = section index, r10 = current fd
+//	r22 = checksum accumulator
+//	r1-r7, r11-r16 = scratch
+const gnuldCommonTail = `
+closeall:
+    movi r20, 0
+cl1:
+    bge  r20, r19, exitok
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r1, (r3)
+    syscall close
+    addi r20, r20, 1
+    jmp  cl1
+exitok:
+    movi r2, 0xffffff
+    and  r1, r22, r2
+    syscall exit
+fail:
+    movi r1, -2
+    syscall exit
+`
+
+const gnuldOriginalBody = `
+; ---- pass 1: per-file metadata walk (deeply data dependent) ----
+    movi r20, 0
+pass1:
+    bge  r20, r19, pass2
+    ; open and remember the descriptor
+    shli r2, r20, 3
+    movi r3, files
+    add  r3, r3, r2
+    ldw  r1, (r3)
+    syscall open
+    blt  r1, r0, fail
+    mov  r10, r1
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    stw  r10, (r3)
+    ; file header
+    mov  r1, r10
+    movi r2, hdrbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    ldw  r4, hdrbuf
+    movi r5, MAGIC
+    bne  r4, r5, fail
+    ; section table (location from the header)
+    ldw  r11, hdrbuf+24
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    movi r4, SECTSTRIDE
+    mul  r6, r20, r4
+    movi r2, secttabs
+    add  r2, r2, r6
+    mov  r1, r10
+    mov  r3, r4
+    syscall read
+    ; symbol header (location from the header)
+    ldw  r11, hdrbuf+8
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, symhdrbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    ; symbol table (location from the symbol header)
+    ldw  r11, symhdrbuf+0
+    ldw  r12, symhdrbuf+8
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, symtabbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    ; string table
+    ldw  r11, symhdrbuf+16
+    ldw  r12, symhdrbuf+24
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, strtabbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    ; debug chunks (locations from the symbol table). The count is clamped
+    ; to the format maximum, like real code bounded by its data structures —
+    ; this also bounds speculation running on a stale symbol header.
+    ldw  r13, symhdrbuf+32
+    blt  r13, r0, dbgdone
+    movi r5, 9
+    blt  r5, r13, dbgdone
+    movi r14, 0
+dbgloop:
+    bge  r14, r13, dbgdone
+    shli r4, r14, 3
+    movi r5, symtabbuf
+    add  r5, r5, r4
+    ldw  r11, (r5)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, dbgbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    movi r4, dbgbuf
+    addi r5, r4, 64
+dsum:
+    ldw  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r5, dsum
+    addi r14, r14, 1
+    jmp  dbgloop
+dbgdone:
+    addi r20, r20, 1
+    jmp  pass1
+; ---- pass 2: section-by-section link (predictable once tables are read) --
+pass2:
+    movi r23, 0
+sectloop:
+    bge  r23, r18, closeall
+    movi r20, 0
+sfileloop:
+    bge  r20, r19, nextsect
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    ; section table entry for (file r20, section r23)
+    mul  r4, r20, r18
+    add  r4, r4, r23
+    shli r4, r4, 4
+    movi r6, secttabs
+    add  r6, r6, r4
+    ldw  r11, (r6)
+    ldw  r12, 8(r6)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, secbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    ; process the section
+    movi r4, secbuf
+    add  r7, r4, r1
+psum:
+    ldw  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r7, psum
+    ; emit the linked output (write-behind hides its latency)
+    movi r1, 1
+    movi r2, secbuf
+    mov  r3, r12
+    syscall write
+    addi r20, r20, 1
+    jmp  sfileloop
+nextsect:
+    addi r23, r23, 1
+    jmp  sectloop
+` + gnuldCommonTail
+
+const gnuldManualBody = `
+; Restructured for early hinting (paper §2.1/§4.4): each metadata level is
+; hinted for ALL files before any file's next level is read.
+; ---- pass A: open everything, hint every header ----
+    movi r20, 0
+passA:
+    bge  r20, r19, passBstart
+    shli r2, r20, 3
+    movi r3, files
+    add  r3, r3, r2
+    ldw  r1, (r3)
+    syscall open
+    blt  r1, r0, fail
+    mov  r10, r1
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    stw  r10, (r3)
+    mov  r1, r10
+    movi r2, 0
+    movi r3, 64
+    syscall hintfd
+    addi r20, r20, 1
+    jmp  passA
+; ---- pass B: read headers; hint section tables and symbol headers ----
+passBstart:
+    movi r20, 0
+passB:
+    bge  r20, r19, passCstart
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    mov  r1, r10
+    movi r2, 0
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, hdrbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    ldw  r4, hdrbuf
+    movi r5, MAGIC
+    bne  r4, r5, fail
+    ; meta[f] = {symhdroff, secttaboff}
+    shli r6, r20, 6
+    movi r7, meta
+    add  r7, r7, r6
+    ldw  r11, hdrbuf+8
+    stw  r11, (r7)
+    ldw  r12, hdrbuf+24
+    stw  r12, 8(r7)
+    ; hint both next-level reads
+    mov  r1, r10
+    mov  r2, r12
+    movi r3, SECTSTRIDE
+    syscall hintfd
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 64
+    syscall hintfd
+    addi r20, r20, 1
+    jmp  passB
+; ---- pass C: read section tables + symbol headers; hint symtab/strtab ----
+passCstart:
+    movi r20, 0
+passC:
+    bge  r20, r19, passDstart
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    shli r6, r20, 6
+    movi r7, meta
+    add  r7, r7, r6
+    ; section table
+    ldw  r11, 8(r7)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    movi r4, SECTSTRIDE
+    mul  r6, r20, r4
+    movi r2, secttabs
+    add  r2, r2, r6
+    mov  r1, r10
+    mov  r3, r4
+    syscall read
+    ; symbol header
+    ldw  r11, (r7)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, symhdrbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    ; meta[f] += {symtaboff, symtablen, strtaboff, strtablen, ndebug}
+    ldw  r11, symhdrbuf+0
+    stw  r11, 16(r7)
+    ldw  r12, symhdrbuf+8
+    stw  r12, 24(r7)
+    ldw  r13, symhdrbuf+16
+    stw  r13, 32(r7)
+    ldw  r14, symhdrbuf+24
+    stw  r14, 40(r7)
+    ldw  r15, symhdrbuf+32
+    stw  r15, 48(r7)
+    mov  r1, r10
+    mov  r2, r11
+    mov  r3, r12
+    syscall hintfd
+    mov  r1, r10
+    mov  r2, r13
+    mov  r3, r14
+    syscall hintfd
+    addi r20, r20, 1
+    jmp  passC
+; ---- pass D: read symtab/strtab; record and hint debug chunks ----
+passDstart:
+    movi r20, 0
+passD:
+    bge  r20, r19, passEstart
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    shli r6, r20, 6
+    movi r7, meta
+    add  r7, r7, r6
+    ldw  r11, 16(r7)
+    ldw  r12, 24(r7)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, symtabbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    ldw  r11, 32(r7)
+    ldw  r12, 40(r7)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, strtabbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    ; debug chunk locations come from the symtab; hint them all. Clamp the
+    ; count as the original does.
+    ldw  r13, 48(r7)
+    blt  r13, r0, mdbgdone
+    movi r5, 9
+    blt  r5, r13, mdbgdone
+    movi r14, 0
+mdbg:
+    bge  r14, r13, mdbgdone
+    shli r4, r14, 3
+    movi r5, symtabbuf
+    add  r5, r5, r4
+    ldw  r11, (r5)
+    ; dbgoffs[f][d] = r11
+    movi r5, 72
+    mul  r6, r20, r5
+    shli r4, r14, 3
+    add  r6, r6, r4
+    movi r5, dbgoffs
+    add  r5, r5, r6
+    stw  r11, (r5)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 64
+    syscall hintfd
+    addi r14, r14, 1
+    jmp  mdbg
+mdbgdone:
+    addi r20, r20, 1
+    jmp  passD
+; ---- pass E: read the debug chunks ----
+passEstart:
+    movi r20, 0
+passE:
+    bge  r20, r19, passFstart
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    shli r6, r20, 6
+    movi r7, meta
+    add  r7, r7, r6
+    ldw  r13, 48(r7)
+    blt  r13, r0, edbgdone
+    movi r5, 9
+    blt  r5, r13, edbgdone
+    movi r14, 0
+edbg:
+    bge  r14, r13, edbgdone
+    movi r5, 72
+    mul  r6, r20, r5
+    shli r4, r14, 3
+    add  r6, r6, r4
+    movi r5, dbgoffs
+    add  r5, r5, r6
+    ldw  r11, (r5)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, dbgbuf
+    movi r3, 64
+    syscall read
+    movi r4, 64
+    bne  r1, r4, fail
+    movi r4, dbgbuf
+    addi r5, r4, 64
+medsum:
+    ldw  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r5, medsum
+    addi r14, r14, 1
+    jmp  edbg
+edbgdone:
+    addi r20, r20, 1
+    jmp  passE
+; ---- pass F: per section, hint all files' sections, then read them ----
+passFstart:
+    movi r23, 0
+msectloop:
+    bge  r23, r18, closeall
+    ; hint sweep
+    movi r20, 0
+mhint:
+    bge  r20, r19, mread
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    mul  r4, r20, r18
+    add  r4, r4, r23
+    shli r4, r4, 4
+    movi r6, secttabs
+    add  r6, r6, r4
+    ldw  r11, (r6)
+    ldw  r12, 8(r6)
+    mov  r1, r10
+    mov  r2, r11
+    mov  r3, r12
+    syscall hintfd
+    addi r20, r20, 1
+    jmp  mhint
+mread:
+    movi r20, 0
+msread:
+    bge  r20, r19, mnextsect
+    shli r2, r20, 3
+    movi r3, fds
+    add  r3, r3, r2
+    ldw  r10, (r3)
+    mul  r4, r20, r18
+    add  r4, r4, r23
+    shli r4, r4, 4
+    movi r6, secttabs
+    add  r6, r6, r4
+    ldw  r11, (r6)
+    ldw  r12, 8(r6)
+    mov  r1, r10
+    mov  r2, r11
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, secbuf
+    mov  r3, r12
+    syscall read
+    bne  r1, r12, fail
+    movi r4, secbuf
+    add  r7, r4, r1
+mpsum:
+    ldw  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r7, mpsum
+    movi r1, 1
+    movi r2, secbuf
+    mov  r3, r12
+    syscall write
+    addi r20, r20, 1
+    jmp  msread
+mnextsect:
+    addi r23, r23, 1
+    jmp  msectloop
+` + gnuldCommonTail

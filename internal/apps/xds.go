@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"spechint/internal/workload"
+)
+
+// XDSSource builds the XDataSlice benchmark (v2.2 in the paper, modified by
+// Patterson to load data dynamically): it retrieves arbitrary slices through
+// a 3-D volume far larger than the file cache, reading one block at a time.
+// After the single header read, every block address is computable from the
+// slice list, so speculation hints nearly every read; but the access pattern
+// is random enough that the OS's sequential read-ahead wastes most of its
+// prefetches (paper Table 5).
+//
+// The manual variant hints all blocks of a slice when the slice is
+// requested, as Patterson's modified XDataSlice did.
+//
+// Exit code: checksum of the words of every processed block, masked.
+func XDSSource(dataset string, slices []workload.Slice, manual bool) string {
+	var b strings.Builder
+	b.WriteString("; XDataSlice: random block reads of volume slices\n")
+	fmt.Fprintf(&b, ".equ DATAOFF %d\n", workload.DataOffset)
+	fmt.Fprintf(&b, ".equ ROWPAD %d\n", workload.RowPad)
+	b.WriteString(".equ BLOCK 8192\n.data\nbuf: .space 8192\nhdr: .space 64\n")
+	fmt.Fprintf(&b, "path: .asciz %q\n", dataset)
+	fmt.Fprintf(&b, "nslices: .word %d\n", len(slices))
+	b.WriteString("slices: .word ")
+	for i, s := range slices {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d, %d", s.Axis, s.Index)
+	}
+	b.WriteString("\n.text\nmain:\n")
+	b.WriteString(`
+    movi r1, path
+    syscall open
+    blt  r1, r0, fail
+    mov  r10, r1
+    ; read the volume header: dimension n
+    mov  r1, r10
+    movi r2, hdr
+    movi r3, 8
+    syscall read
+    ldw  r11, hdr         ; n
+    ; sanity-check the dimension (also bounds speculation with a stale hdr)
+    movi r2, 1
+    blt  r11, r2, fail
+    movi r2, 4096
+    blt  r2, r11, fail
+    movi r2, 4
+    mul  r13, r11, r2     ; row stride = n*4 + pad
+    addi r13, r13, ROWPAD
+    ldw  r20, nslices
+    movi r21, slices
+    movi r22, 0           ; checksum
+    movi r27, -1          ; last block read (dedup of consecutive repeats)
+sliceloop:
+    beq  r20, r0, done
+    ldw  r15, (r21)       ; axis
+    ldw  r16, 8(r21)      ; index
+`)
+	if manual {
+		// Disclose every block of this slice before reading any of it.
+		b.WriteString(`
+    ; --- manual hints: one TIPIO_FD_SEG per distinct block of the slice ---
+    movi r17, 0
+    movi r28, -1          ; last hinted block
+hintx:
+    bge  r17, r11, hintdone
+    beq  r15, r0, hax0
+    mul  r18, r17, r11
+    add  r18, r18, r16
+    jmp  hoff
+hax0:
+    mul  r18, r16, r11
+    add  r18, r18, r17
+hoff:
+    mul  r18, r18, r13
+    addi r18, r18, DATAOFF
+    movi r19, -8192
+    and  r19, r18, r19
+    beq  r19, r28, hnext
+    mov  r28, r19
+    mov  r1, r10
+    mov  r2, r19
+    movi r3, BLOCK
+    syscall hintfd
+hnext:
+    addi r17, r17, 1
+    jmp  hintx
+hintdone:
+`)
+	}
+	b.WriteString(`
+    movi r17, 0           ; x (run index within the plane)
+xloop:
+    bge  r17, r11, nextslice
+    ; run start = (axis==0 ? idx*n + x : x*n + idx) * rowbytes
+    beq  r15, r0, ax0
+    mul  r18, r17, r11
+    add  r18, r18, r16
+    jmp  offc
+ax0:
+    mul  r18, r16, r11
+    add  r18, r18, r17
+offc:
+    mul  r18, r18, r13
+    addi r18, r18, DATAOFF
+    movi r19, -8192
+    and  r19, r18, r19    ; containing block
+    beq  r19, r27, skipread
+    mov  r27, r19
+    mov  r1, r10
+    mov  r2, r19
+    movi r3, 0
+    syscall seek
+    mov  r1, r10
+    movi r2, buf
+    movi r3, BLOCK
+    syscall read
+    ; render: fold the block's words into the checksum
+    movi r4, buf
+    add  r5, r4, r1
+blk:
+    ldw  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r5, blk
+skipread:
+    addi r17, r17, 1
+    jmp  xloop
+nextslice:
+    addi r21, r21, 16
+    addi r20, r20, -1
+    jmp  sliceloop
+done:
+    mov  r1, r10
+    syscall close
+    movi r2, 0xffffff
+    and  r1, r22, r2
+    syscall exit
+fail:
+    movi r1, -1
+    syscall exit
+`)
+	return b.String()
+}

@@ -1,0 +1,692 @@
+// Package asm provides a two-pass assembler for vm programs. The benchmark
+// applications (Agrep, Gnuld, XDataSlice) are authored in this assembly, the
+// way the paper's benchmarks existed as compiled Alpha binaries: SpecHint
+// never sees the source, only the resulting vm.Program.
+//
+// Syntax overview:
+//
+//	; comment, # comment
+//	.equ NAME value
+//	.entry label
+//	.data
+//	buf:    .space 8192
+//	msg:    .asciz "hello"
+//	nums:   .word 1, 2, label
+//	tbl:    .jumptable absolute case0, case1
+//	.text
+//	main:   movi r1, msg
+//	        ldw  r2, 8(r1)
+//	        stw  r2, nums
+//	        beq  r1, r2, done
+//	        call fn
+//	        syscall read
+//	done:   ret
+//
+// Registers are r0-r31 with aliases at, ra, sp. Branch/jump targets are
+// labels; movi accepts labels (text labels give function addresses, data
+// labels give data addresses). Immediates may be decimal, hex (0x...), a
+// character ('c'), or label±offset.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spechint/internal/vm"
+)
+
+// Error is an assembly error with line information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type section int
+
+const (
+	secNone section = iota
+	secText
+	secData
+)
+
+type fixup struct {
+	line   int
+	text   bool  // true: patch Text[idx].Imm; false: patch data word at idx
+	idx    int64 // instruction index or data offset
+	sym    string
+	addend int64
+}
+
+type assembler struct {
+	prog     *vm.Program
+	sec      section
+	equs     map[string]int64
+	fixups   []fixup
+	entrySym string
+	line     int
+}
+
+// Assemble parses source into a validated vm.Program.
+func Assemble(src string) (*vm.Program, error) {
+	a := &assembler{
+		prog: &vm.Program{
+			Symbols:     make(map[string]int64),
+			DataSymbols: make(map[string]int64),
+		},
+		equs: make(map[string]int64),
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	a.prog.DataSize = int64(len(a.prog.Data))
+	if a.entrySym != "" {
+		addr, ok := a.prog.Symbols[a.entrySym]
+		if !ok {
+			return nil, &Error{0, fmt.Sprintf("entry symbol %q undefined", a.entrySym)}
+		}
+		a.prog.Entry = addr
+	} else if addr, ok := a.prog.Symbols["main"]; ok {
+		a.prog.Entry = addr
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble panics on error; for statically known-good sources.
+func MustAssemble(src string) *vm.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{a.line, fmt.Sprintf(format, args...)}
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly several on one line).
+	for {
+		i := strings.IndexByte(s, ':')
+		if i < 0 || strings.ContainsAny(s[:i], " \t\"(,") {
+			break
+		}
+		if err := a.defineLabel(strings.TrimSpace(s[:i])); err != nil {
+			return err
+		}
+		s = strings.TrimSpace(s[i+1:])
+		if s == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	if a.sec != secText {
+		return a.errf("instruction outside .text: %q", s)
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if name == "" {
+		return a.errf("empty label")
+	}
+	if _, dup := a.prog.Symbols[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	if _, dup := a.prog.DataSymbols[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	switch a.sec {
+	case secText:
+		a.prog.Symbols[name] = int64(len(a.prog.Text))
+	case secData:
+		a.prog.DataSymbols[name] = int64(len(a.prog.Data))
+	default:
+		return a.errf("label %q outside a section", name)
+	}
+	return nil
+}
+
+func (a *assembler) directive(s string) error {
+	fields := strings.Fields(s)
+	switch fields[0] {
+	case ".text":
+		a.sec = secText
+	case ".data":
+		a.sec = secData
+	case ".entry":
+		if len(fields) != 2 {
+			return a.errf(".entry wants one symbol")
+		}
+		a.entrySym = fields[1]
+	case ".equ":
+		if len(fields) != 3 {
+			return a.errf(".equ wants NAME VALUE")
+		}
+		v, err := a.number(fields[2])
+		if err != nil {
+			return err
+		}
+		a.equs[fields[1]] = v
+	case ".space":
+		if a.sec != secData {
+			return a.errf(".space outside .data")
+		}
+		n, err := a.number(strings.TrimSpace(s[len(".space"):]))
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errf(".space negative")
+		}
+		a.prog.Data = append(a.prog.Data, make([]byte, n)...)
+	case ".asciz":
+		if a.sec != secData {
+			return a.errf(".asciz outside .data")
+		}
+		rest := strings.TrimSpace(s[len(".asciz"):])
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("bad string %s: %v", rest, err)
+		}
+		a.prog.Data = append(a.prog.Data, str...)
+		a.prog.Data = append(a.prog.Data, 0)
+	case ".word":
+		if a.sec != secData {
+			return a.errf(".word outside .data")
+		}
+		for _, part := range splitArgs(s[len(".word"):]) {
+			if err := a.emitWord(part); err != nil {
+				return err
+			}
+		}
+	case ".jumptable":
+		if a.sec != secData {
+			return a.errf(".jumptable outside .data")
+		}
+		rest := strings.TrimSpace(s[len(".jumptable"):])
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return a.errf(".jumptable wants FORMAT label...")
+		}
+		args := append([]string{rest[:sp]}, splitArgs(rest[sp:])...)
+		if len(args) < 2 {
+			return a.errf(".jumptable wants FORMAT label...")
+		}
+		var format vm.JumpTableFormat
+		switch args[0] {
+		case "absolute":
+			format = vm.JTAbsolute
+		case "unknown":
+			format = vm.JTUnknown
+		default:
+			return a.errf("unknown jump table format %q", args[0])
+		}
+		addr := int64(len(a.prog.Data))
+		for _, lbl := range args[1:] {
+			if err := a.emitWord(lbl); err != nil {
+				return err
+			}
+		}
+		a.prog.JumpTables = append(a.prog.JumpTables, vm.JumpTable{
+			Addr: addr, Len: int64(len(args) - 1), Format: format,
+		})
+	default:
+		return a.errf("unknown directive %s", fields[0])
+	}
+	return nil
+}
+
+// emitWord appends an 8-byte word, possibly a symbol reference.
+func (a *assembler) emitWord(expr string) error {
+	off := int64(len(a.prog.Data))
+	a.prog.Data = append(a.prog.Data, make([]byte, 8)...)
+	if v, err := a.number(expr); err == nil {
+		putWord(a.prog.Data[off:], v)
+		return nil
+	}
+	sym, addend, err := a.symRef(expr)
+	if err != nil {
+		return err
+	}
+	a.fixups = append(a.fixups, fixup{line: a.line, text: false, idx: off, sym: sym, addend: addend})
+	return nil
+}
+
+func putWord(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+// splitArgs splits a comma-separated operand list, trimming whitespace.
+func splitArgs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var regAliases = map[string]uint8{"at": vm.AT, "ra": vm.RA, "sp": vm.SP, "zero": vm.R0}
+
+func (a *assembler) reg(s string) (uint8, error) {
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < vm.NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+// number parses a pure numeric immediate (no symbols).
+func (a *assembler) number(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, a.errf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// symRef parses "label", "label+N" or "label-N".
+func (a *assembler) symRef(s string) (sym string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			n, err := a.number(s[i+1:])
+			if err != nil {
+				return "", 0, err
+			}
+			if s[i] == '-' {
+				n = -n
+			}
+			return s[:i], n, nil
+		}
+	}
+	if s == "" {
+		return "", 0, a.errf("empty operand")
+	}
+	return s, 0, nil
+}
+
+// imm resolves an immediate now if numeric, else records a fixup against the
+// instruction being emitted.
+func (a *assembler) imm(expr string) (int64, bool, error) {
+	if v, err := a.number(expr); err == nil {
+		return v, true, nil
+	}
+	return 0, false, nil
+}
+
+func (a *assembler) fixupText(expr string) error {
+	sym, addend, err := a.symRef(expr)
+	if err != nil {
+		return err
+	}
+	a.fixups = append(a.fixups, fixup{
+		line: a.line, text: true, idx: int64(len(a.prog.Text) - 1),
+		sym: sym, addend: addend,
+	})
+	return nil
+}
+
+var sysNames = map[string]int64{
+	"exit": vm.SysExit, "open": vm.SysOpen, "close": vm.SysClose,
+	"read": vm.SysRead, "seek": vm.SysSeek, "fstat": vm.SysFstat,
+	"write": vm.SysWrite, "sbrk": vm.SysSbrk, "print": vm.SysPrint,
+	"printint": vm.SysPrintInt, "hintfd": vm.SysHintFD,
+	"hintfile": vm.SysHintFile, "cancelall": vm.SysCancelAll,
+}
+
+var aluRegOps = map[string]vm.Op{
+	"add": vm.ADD, "sub": vm.SUB, "mul": vm.MUL, "div": vm.DIV, "mod": vm.MOD,
+	"and": vm.AND, "or": vm.OR, "xor": vm.XOR, "shl": vm.SHL, "shr": vm.SHR,
+	"slt": vm.SLT,
+}
+
+var aluImmOps = map[string]vm.Op{
+	"addi": vm.ADDI, "andi": vm.ANDI, "ori": vm.ORI, "xori": vm.XORI,
+	"shli": vm.SHLI, "shri": vm.SHRI, "slti": vm.SLTI,
+}
+
+var branchOps = map[string]vm.Op{
+	"beq": vm.BEQ, "bne": vm.BNE, "blt": vm.BLT, "bge": vm.BGE,
+}
+
+var loadOps = map[string]vm.Op{"ldb": vm.LDB, "ldw": vm.LDW}
+var storeOps = map[string]vm.Op{"stb": vm.STB, "stw": vm.STW}
+
+func (a *assembler) emit(ins vm.Instr) {
+	a.prog.Text = append(a.prog.Text, ins)
+}
+
+// memOperand parses "imm(reg)", "label", "label+N", or "imm".
+func (a *assembler) memOperand(s string) (base uint8, immExpr string, err error) {
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return 0, "", a.errf("bad memory operand %q", s)
+		}
+		r, err := a.reg(strings.TrimSpace(s[i+1 : len(s)-1]))
+		if err != nil {
+			return 0, "", err
+		}
+		expr := strings.TrimSpace(s[:i])
+		if expr == "" {
+			expr = "0"
+		}
+		return r, expr, nil
+	}
+	return vm.R0, s, nil // absolute address via r0
+}
+
+func (a *assembler) instruction(s string) error {
+	var mnem, rest string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnem, rest = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mnem = s
+	}
+	args := splitArgs(rest)
+	need := func(n int) error {
+		if len(args) != n {
+			return a.errf("%s wants %d operands, got %d", mnem, n, len(args))
+		}
+		return nil
+	}
+
+	switch {
+	case mnem == "nop":
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: vm.NOP})
+
+	case mnem == "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: vm.RET})
+
+	case aluRegOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: aluRegOps[mnem], Rd: rd, Rs1: rs1, Rs2: rs2})
+
+	case aluImmOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		v, ok, err := a.imm(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: aluImmOps[mnem], Rd: rd, Rs1: rs1, Imm: v})
+		if !ok {
+			return a.fixupText(args[2])
+		}
+
+	case mnem == "movi":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, ok, err := a.imm(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: vm.MOVI, Rd: rd, Imm: v})
+		if !ok {
+			return a.fixupText(args[1])
+		}
+
+	case mnem == "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: vm.ADD, Rd: rd, Rs1: rs, Rs2: vm.R0})
+
+	case loadOps[mnem] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, expr, err := a.memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		v, ok, err := a.imm(expr)
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: loadOps[mnem], Rd: rd, Rs1: base, Imm: v})
+		if !ok {
+			return a.fixupText(expr)
+		}
+
+	case storeOps[mnem] != 0:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, expr, err := a.memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		v, ok, err := a.imm(expr)
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: storeOps[mnem], Rs1: base, Rs2: rs2, Imm: v})
+		if !ok {
+			return a.fixupText(expr)
+		}
+
+	case branchOps[mnem] != 0:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		v, ok, err := a.imm(args[2])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: branchOps[mnem], Rs1: rs1, Rs2: rs2, Imm: v})
+		if !ok {
+			return a.fixupText(args[2])
+		}
+
+	case mnem == "jmp" || mnem == "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := vm.JMP
+		if mnem == "call" {
+			op = vm.CALL
+		}
+		v, ok, err := a.imm(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: op, Imm: v})
+		if !ok {
+			return a.fixupText(args[0])
+		}
+
+	case mnem == "jr" || mnem == "callr":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := vm.JR
+		if mnem == "callr" {
+			op = vm.CALLR
+		}
+		rs, err := a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		a.emit(vm.Instr{Op: op, Rs1: rs})
+
+	case mnem == "syscall":
+		if err := need(1); err != nil {
+			return err
+		}
+		code, ok := sysNames[args[0]]
+		if !ok {
+			v, err := a.number(args[0])
+			if err != nil {
+				return a.errf("unknown syscall %q", args[0])
+			}
+			code = v
+		}
+		a.emit(vm.Instr{Op: vm.SYSCALL, Imm: code})
+
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// resolve patches all symbol references.
+func (a *assembler) resolve() error {
+	lookup := func(sym string) (int64, bool) {
+		if v, ok := a.prog.Symbols[sym]; ok {
+			return v, true
+		}
+		if v, ok := a.prog.DataSymbols[sym]; ok {
+			return v, true
+		}
+		if v, ok := a.equs[sym]; ok {
+			return v, true
+		}
+		return 0, false
+	}
+	for _, f := range a.fixups {
+		v, ok := lookup(f.sym)
+		if !ok {
+			return &Error{f.line, fmt.Sprintf("undefined symbol %q", f.sym)}
+		}
+		v += f.addend
+		if f.text {
+			a.prog.Text[f.idx].Imm = v
+		} else {
+			putWord(a.prog.Data[f.idx:], v)
+		}
+	}
+	return nil
+}
+
+// Disassemble renders a program's text section, annotating labels, the
+// shadow boundary, and syscall names. Useful for debugging transforms.
+func Disassemble(p *vm.Program) string {
+	labels := make(map[int64][]string)
+	for name, addr := range p.Symbols {
+		labels[addr] = append(labels[addr], name)
+	}
+	var b strings.Builder
+	for i, ins := range p.Text {
+		if p.ShadowBase > 0 && int64(i) == p.ShadowBase {
+			b.WriteString("; ---- shadow code ----\n")
+		}
+		for _, l := range labels[int64(i)] {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "%6d\t%s", i, ins)
+		if ins.Op == vm.SYSCALL {
+			fmt.Fprintf(&b, "\t; %s", vm.SyscallName(ins.Imm))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,445 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"spechint/internal/vm"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	p, err := Assemble(`
+; a small program
+.data
+buf:    .space 16
+msg:    .asciz "hi"
+vals:   .word 1, 0x10, 'A', msg
+
+.text
+main:
+    movi r1, 5
+    addi r2, r1, -1
+    add  r3, r1, r2
+    ldw  r4, vals
+    stw  r3, buf+8
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Fatalf("entry = %d, want main", p.Entry)
+	}
+	if got := p.DataSymbols["msg"]; got != 16 {
+		t.Fatalf("msg at %d, want 16", got)
+	}
+	// vals: starts at 16+3=19
+	if got := p.DataSymbols["vals"]; got != 19 {
+		t.Fatalf("vals at %d, want 19", got)
+	}
+	// Check .word values.
+	w := func(off int64) int64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(p.Data[off+int64(i)])
+		}
+		return int64(v)
+	}
+	vals := p.DataSymbols["vals"]
+	if w(vals) != 1 || w(vals+8) != 0x10 || w(vals+16) != 'A' || w(vals+24) != 16 {
+		t.Fatalf("words = %d %d %d %d", w(vals), w(vals+8), w(vals+16), w(vals+24))
+	}
+	// stw r3, buf+8 -> absolute via r0 with imm 8.
+	st := p.Text[4]
+	if st.Op != vm.STW || st.Rs1 != vm.R0 || st.Imm != 8 || st.Rs2 != 3 {
+		t.Fatalf("stw = %+v", st)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+.text
+main:
+    movi r1, 0
+loop:
+    addi r1, r1, 1
+    slti r2, r1, 10
+    bne  r2, r0, loop
+    jmp  done
+    nop
+done:
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := p.Symbols["loop"]
+	if p.Text[3].Imm != loop {
+		t.Fatalf("bne target = %d, want %d", p.Text[3].Imm, loop)
+	}
+	if p.Text[4].Imm != p.Symbols["done"] {
+		t.Fatalf("jmp target = %d", p.Text[4].Imm)
+	}
+}
+
+func TestForwardReferences(t *testing.T) {
+	p, err := Assemble(`
+.text
+main:
+    movi r1, later   ; forward data ref
+    call fn
+    syscall exit
+fn:
+    ret
+.data
+later: .word 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != p.DataSymbols["later"] {
+		t.Fatal("forward data reference unresolved")
+	}
+	if p.Text[1].Imm != p.Symbols["fn"] {
+		t.Fatal("forward call unresolved")
+	}
+}
+
+func TestMemoryOperandForms(t *testing.T) {
+	p, err := Assemble(`
+.data
+x: .word 0
+.text
+main:
+    ldw r1, 8(r2)
+    ldw r1, (r2)
+    ldw r1, x
+    ldw r1, x+16
+    stb r3, -4(sp)
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != 8 || p.Text[0].Rs1 != 2 {
+		t.Fatalf("ldw 8(r2) = %+v", p.Text[0])
+	}
+	if p.Text[1].Imm != 0 {
+		t.Fatalf("ldw (r2) imm = %d", p.Text[1].Imm)
+	}
+	if p.Text[2].Rs1 != vm.R0 || p.Text[2].Imm != 0 {
+		t.Fatalf("ldw x = %+v", p.Text[2])
+	}
+	if p.Text[3].Imm != 16 {
+		t.Fatalf("ldw x+16 imm = %d", p.Text[3].Imm)
+	}
+	if p.Text[4].Rs1 != vm.SP || p.Text[4].Imm != -4 {
+		t.Fatalf("stb -4(sp) = %+v", p.Text[4])
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p, err := Assemble(`
+.text
+main:
+    mov  r1, sp
+    mov  r2, ra
+    mov  r3, at
+    mov  r4, zero
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Rs1 != vm.SP || p.Text[1].Rs1 != vm.RA || p.Text[2].Rs1 != vm.AT || p.Text[3].Rs1 != vm.R0 {
+		t.Fatal("alias registers wrong")
+	}
+}
+
+func TestEquAndEntry(t *testing.T) {
+	p, err := Assemble(`
+.equ BUFSZ 8192
+.entry start
+.text
+other:
+    nop
+start:
+    movi r1, BUFSZ
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["start"] {
+		t.Fatalf("entry = %d", p.Entry)
+	}
+	if p.Text[1].Imm != 8192 {
+		t.Fatalf("equ imm = %d", p.Text[1].Imm)
+	}
+}
+
+func TestJumpTableDirective(t *testing.T) {
+	p, err := Assemble(`
+.data
+tbl: .jumptable absolute c0, c1, c2
+utbl: .jumptable unknown c0, c1
+.text
+main:
+c0: nop
+c1: nop
+c2: nop
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.JumpTables) != 2 {
+		t.Fatalf("jump tables = %d", len(p.JumpTables))
+	}
+	jt := p.JumpTables[0]
+	if jt.Format != vm.JTAbsolute || jt.Len != 3 || jt.Addr != p.DataSymbols["tbl"] {
+		t.Fatalf("jt = %+v", jt)
+	}
+	if p.JumpTables[1].Format != vm.JTUnknown {
+		t.Fatal("unknown format not recorded")
+	}
+	// Entries hold text addresses.
+	w := int64(0)
+	for i := 7; i >= 0; i-- {
+		w = w<<8 | int64(p.Data[jt.Addr+8+int64(i)])
+	}
+	if w != p.Symbols["c1"] {
+		t.Fatalf("table entry 1 = %d, want %d", w, p.Symbols["c1"])
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	p, err := Assemble(`
+.text
+main:
+    syscall read
+    syscall hintfd
+    syscall cancelall
+    syscall 42
+    syscall exit
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != vm.SysRead || p.Text[1].Imm != vm.SysHintFD ||
+		p.Text[2].Imm != vm.SysCancelAll || p.Text[3].Imm != 42 {
+		t.Fatal("syscall codes wrong")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p, err := Assemble(`
+ ; full-line comment
+.text
+main: nop ; trailing
+    nop # hash comment
+.data
+s: .asciz "semi ; colon"   ; comment after string
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 2 {
+		t.Fatalf("text len = %d, want 2", len(p.Text))
+	}
+	if !strings.Contains(string(p.Data), "semi ; colon") {
+		t.Fatal("string with semicolon mangled")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", ".text\nmain: bogus r1\n"},
+		{"bad register", ".text\nmain: movi r99, 1\n"},
+		{"undefined symbol", ".text\nmain: jmp nowhere\n"},
+		{"duplicate label", ".text\nmain: nop\nmain: nop\n"},
+		{"instr outside text", "nop\n"},
+		{"space outside data", ".text\n.space 8\n"},
+		{"bad directive", ".bogus\n"},
+		{"wrong arity", ".text\nmain: add r1, r2\n"},
+		{"bad string", ".data\ns: .asciz notquoted\n"},
+		{"bad jumptable format", ".data\nt: .jumptable weird a\n.text\na: nop\n"},
+		{"entry undefined", ".entry nope\n.text\nmain: nop\n"},
+		{"negative space", ".data\n.space -5\n"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble(".text\nmain: nop\n bogus r1, r2\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	ae, ok := err.(*Error)
+	if !ok || ae.Line != 3 {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestMustAssemblePanicsOnBad(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("garbage")
+}
+
+func TestDisassembleRoundTripish(t *testing.T) {
+	p := MustAssemble(`
+.text
+main:
+    movi r1, 3
+    syscall exit
+fn:
+    ret
+`)
+	d := Disassemble(p)
+	for _, want := range []string{"main:", "fn:", "movi r1, 3", "; exit", "ret"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+// End-to-end: assemble and execute on the VM.
+type exitOS struct{}
+
+func (exitOS) Syscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysControl {
+	if code == vm.SysExit {
+		t.ExitCode = t.Regs[vm.R1]
+		return vm.SysHalt
+	}
+	return vm.SysDone
+}
+
+func TestAssembledProgramRuns(t *testing.T) {
+	p := MustAssemble(`
+.data
+arr: .word 3, 1, 4, 1, 5, 9, 2, 6
+.equ N 8
+.text
+main:
+    movi r10, 0      ; sum
+    movi r11, 0      ; i
+    movi r12, N
+    movi r13, arr
+loop:
+    shli r14, r11, 3
+    add  r14, r13, r14
+    ldw  r15, (r14)
+    add  r10, r10, r15
+    addi r11, r11, 1
+    blt  r11, r12, loop
+    mov  r1, r10
+    syscall exit
+`)
+	cfg := vm.DefaultConfig()
+	m, err := vm.NewMachine(p, exitOS{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.NewThread("main", vm.Normal)
+	_, stop := m.Run(th, 1_000_000)
+	if stop != vm.StopHalted {
+		t.Fatalf("stop = %v, err = %v", stop, th.Err)
+	}
+	if th.ExitCode != 31 {
+		t.Fatalf("exit = %d, want 31", th.ExitCode)
+	}
+}
+
+func TestDisassembleEveryInstruction(t *testing.T) {
+	p := MustAssemble(`
+.data
+tbl: .jumptable absolute a, b
+.text
+main:
+a:  add  r1, r2, r3
+b:  movi r4, -9
+    ldb  r5, 3(r6)
+    stw  r7, (sp)
+    bge  r1, r2, main
+    call main
+    callr r9
+    jr   r10
+    mov  r11, r12
+    syscall cancelall
+    ret
+`)
+	d := Disassemble(p)
+	lines := strings.Count(d, "\n")
+	if lines < len(p.Text) {
+		t.Fatalf("disassembly has %d lines for %d instructions", lines, len(p.Text))
+	}
+	for _, want := range []string{"add r1, r2, r3", "movi r4, -9", "callr r9", "; cancelall"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestDisassembleMarksShadow(t *testing.T) {
+	p := MustAssemble(".text\nmain: nop\n ret\n")
+	p.Text = append(p.Text, p.Text...)
+	p.OrigTextLen = 2
+	p.ShadowBase = 2
+	d := Disassemble(p)
+	if !strings.Contains(d, "shadow code") {
+		t.Fatal("shadow boundary not marked")
+	}
+}
+
+func TestNegativeAndHexImmediates(t *testing.T) {
+	p := MustAssemble(`
+.text
+main:
+    movi r1, -0x10
+    addi r2, r1, -1
+    slti r3, r2, 0x7fffffff
+    syscall exit
+`)
+	if p.Text[0].Imm != -16 || p.Text[1].Imm != -1 || p.Text[2].Imm != 0x7fffffff {
+		t.Fatalf("immediates: %d %d %d", p.Text[0].Imm, p.Text[1].Imm, p.Text[2].Imm)
+	}
+}
+
+func TestMultipleLabelsOneLine(t *testing.T) {
+	p := MustAssemble(".text\nmain: start: go: nop\n")
+	if p.Symbols["main"] != 0 || p.Symbols["start"] != 0 || p.Symbols["go"] != 0 {
+		t.Fatal("stacked labels not all at 0")
+	}
+}
+
+func TestLabelMinusOffset(t *testing.T) {
+	p := MustAssemble(`
+.data
+    .space 16
+mark: .word 0
+.text
+main:
+    movi r1, mark-8
+    syscall exit
+`)
+	if p.Text[0].Imm != p.DataSymbols["mark"]-8 {
+		t.Fatalf("mark-8 = %d", p.Text[0].Imm)
+	}
+}
+
+func TestEmptySourceRejected(t *testing.T) {
+	if _, err := Assemble(""); err == nil {
+		t.Fatal("empty source produced a program")
+	}
+	if _, err := Assemble("; only comments\n"); err == nil {
+		t.Fatal("comment-only source produced a program")
+	}
+}

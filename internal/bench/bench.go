@@ -1,0 +1,118 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation (§4). Each experiment builds fresh workloads and programs,
+// runs the relevant configurations through the core runtime, and formats
+// rows the way the paper reports them.
+//
+// Absolute numbers come from the simulated testbed and are not expected to
+// match the paper's hardware; the shapes — who wins, by roughly what factor,
+// where the crossovers fall — are the reproduction targets (see
+// EXPERIMENTS.md).
+package bench
+
+import (
+	"fmt"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+	"spechint/internal/vm"
+)
+
+// Apps is the benchmark suite order used by every table.
+var Apps = []apps.App{apps.Agrep, apps.Gnuld, apps.XDataSlice}
+
+// Mutator adjusts a configuration before a run (disk count, cache size...).
+type Mutator func(*core.Config)
+
+// Run executes one app in one mode with an optional config mutation,
+// building a fresh workload (runs share nothing).
+func Run(app apps.App, mode core.Mode, scale apps.Scale, mutate Mutator) (*core.RunStats, *apps.Bundle, error) {
+	b, err := apps.Build(app, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	var prog *vm.Program
+	switch mode {
+	case core.ModeNoHint:
+		prog = b.Original
+	case core.ModeSpeculating:
+		prog = b.Transformed
+	case core.ModeManual:
+		prog = b.Manual
+	default:
+		return nil, nil, fmt.Errorf("bench: bad mode %v", mode)
+	}
+	cfg := core.DefaultConfig(mode)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sys, err := core.New(cfg, prog, b.FS)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := sys.Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: %v %v: %w", app, mode, err)
+	}
+	return st, b, nil
+}
+
+// Triple holds one app's three runs under a single configuration.
+type Triple struct {
+	App    apps.App
+	Orig   *core.RunStats
+	Spec   *core.RunStats
+	Manual *core.RunStats
+	Bundle *apps.Bundle // from the speculating run (transform stats)
+}
+
+// RunTriple runs all three variants of app.
+func RunTriple(app apps.App, scale apps.Scale, mutate Mutator) (*Triple, error) {
+	t := &Triple{App: app}
+	var err error
+	if t.Orig, _, err = Run(app, core.ModeNoHint, scale, mutate); err != nil {
+		return nil, err
+	}
+	if t.Spec, t.Bundle, err = Run(app, core.ModeSpeculating, scale, mutate); err != nil {
+		return nil, err
+	}
+	if t.Manual, _, err = Run(app, core.ModeManual, scale, mutate); err != nil {
+		return nil, err
+	}
+	// Correctness invariant: all variants must compute the same result.
+	if t.Orig.ExitCode != t.Spec.ExitCode || t.Orig.ExitCode != t.Manual.ExitCode {
+		return nil, fmt.Errorf("bench: %v exit codes diverge: orig %d spec %d manual %d",
+			app, t.Orig.ExitCode, t.Spec.ExitCode, t.Manual.ExitCode)
+	}
+	return t, nil
+}
+
+// Improvement returns the percent reduction in elapsed time of st vs base.
+func Improvement(base, st *core.RunStats) float64 {
+	return 100 * (1 - float64(st.Elapsed)/float64(base.Elapsed))
+}
+
+// Suite runs and caches the three-variant runs that several tables share.
+type Suite struct {
+	Scale   apps.Scale
+	Mutate  Mutator
+	triples map[apps.App]*Triple
+}
+
+// NewSuite returns a Suite at the given scale under the default (4-disk,
+// 12 MB cache) configuration.
+func NewSuite(scale apps.Scale) *Suite {
+	return &Suite{Scale: scale, triples: make(map[apps.App]*Triple)}
+}
+
+// Triple returns (running on first use) the cached triple for app.
+func (s *Suite) Triple(app apps.App) (*Triple, error) {
+	if t, ok := s.triples[app]; ok {
+		return t, nil
+	}
+	t, err := RunTriple(app, s.Scale, s.Mutate)
+	if err != nil {
+		return nil, err
+	}
+	s.triples[app] = t
+	return t, nil
+}

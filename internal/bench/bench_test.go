@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+)
+
+func TestRunTripleCorrectness(t *testing.T) {
+	tr, err := RunTriple(apps.Agrep, apps.TestScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Orig == nil || tr.Spec == nil || tr.Manual == nil || tr.Bundle == nil {
+		t.Fatal("incomplete triple")
+	}
+	if tr.Spec.Mode != core.ModeSpeculating {
+		t.Fatal("mode mismatch")
+	}
+}
+
+func TestSuiteCachesTriples(t *testing.T) {
+	s := NewSuite(apps.TestScale())
+	a, err := s.Triple(apps.Agrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Triple(apps.Agrep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Suite did not cache the triple")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	base := &core.RunStats{Elapsed: 100}
+	half := &core.RunStats{Elapsed: 50}
+	if got := Improvement(base, half); got != 50 {
+		t.Fatalf("Improvement = %v, want 50", got)
+	}
+	if got := Improvement(base, base); got != 0 {
+		t.Fatalf("Improvement = %v, want 0", got)
+	}
+}
+
+// Each experiment must run at test scale and produce a non-empty table
+// containing every benchmark name it covers.
+func TestAllExperimentsRunAtTestScale(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := RunByName(name, apps.TestScale(), &buf); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+			switch name {
+			case "throttle", "adaptive", "join": // single-app experiments
+				if !strings.Contains(out, "original") && !strings.Contains(out, "speculating") {
+					t.Errorf("%s output missing expected rows:\n%s", name, out)
+				}
+			default:
+				if !strings.Contains(out, "Agrep") {
+					t.Errorf("output missing Agrep:\n%s", out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunByNameUnknown(t *testing.T) {
+	if err := RunByName("nope", apps.TestScale(), &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure from the paper's evaluation must be present.
+	want := []string{"table1", "table3", "table4", "table5", "table6",
+		"table7", "table8", "fig3", "fig4", "fig5", "fig6", "regionsize", "throttle"}
+	for _, n := range want {
+		if _, ok := Registry[n]; !ok {
+			t.Errorf("missing experiment %q", n)
+		}
+	}
+}

@@ -1,0 +1,512 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+	"spechint/internal/spechint"
+)
+
+// table collects rows and renders an aligned text table.
+type table struct {
+	b strings.Builder
+	w *tabwriter.Writer
+}
+
+func newTable(title string) *table {
+	t := &table{}
+	t.b.WriteString(title)
+	t.b.WriteString("\n")
+	t.w = tabwriter.NewWriter(&t.b, 2, 4, 2, ' ', 0)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.w, strings.Join(cells, "\t"))
+}
+
+func (t *table) String() string {
+	t.w.Flush()
+	return t.b.String()
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func secs(s *core.RunStats) string {
+	return fmt.Sprintf("%.2f", s.Seconds())
+}
+
+// Table1 reproduces the paper's Table 1 for our suite: the reduction in
+// execution time from manually-inserted hints (the motivating result).
+// The paper's other four applications (Davidson, Postgres, Sphinx) were
+// closed to us; the three TIP-suite apps are reproduced.
+func Table1(s *Suite) (string, error) {
+	t := newTable("Table 1: execution-time reduction from manual hints (4 disks)")
+	t.row("Benchmark", "Improvement", "Description")
+	desc := map[apps.App]string{
+		apps.Agrep:      "text search",
+		apps.Gnuld:      "object code linker",
+		apps.XDataSlice: "scientific visualization",
+	}
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		t.row(app.String(), pct(Improvement(tr.Orig, tr.Manual)), desc[app])
+	}
+	// The paper's Table 1 also lists Patterson's Postgres join at two
+	// selectivities; reproduce those rows too.
+	for _, sel := range []int{20, 80} {
+		scale := s.Scale
+		scale.Postgres.Selectivity = sel
+		tr, err := RunTriple(apps.Postgres, scale, s.Mutate)
+		if err != nil {
+			return "", err
+		}
+		t.row(fmt.Sprintf("Postgres, %d%%", sel), pct(Improvement(tr.Orig, tr.Manual)),
+			"database join, % tuples resulting")
+	}
+	return t.String(), nil
+}
+
+// JoinSelectivity sweeps the Postgres join's selectivity, extending the
+// paper's two Table 1 points into a curve for all three builds.
+func JoinSelectivity(scale apps.Scale) (string, error) {
+	t := newTable("Postgres join: % improvement vs selectivity")
+	sels := []int{10, 20, 40, 80}
+	header := []string{"Series"}
+	for _, sel := range sels {
+		header = append(header, fmt.Sprintf("%d%%", sel))
+	}
+	t.row(header...)
+	spec := []string{"speculating"}
+	man := []string{"manual"}
+	for _, sel := range sels {
+		sc := scale
+		sc.Postgres.Selectivity = sel
+		tr, err := RunTriple(apps.Postgres, sc, nil)
+		if err != nil {
+			return "", err
+		}
+		spec = append(spec, pct(Improvement(tr.Orig, tr.Spec)))
+		man = append(man, pct(Improvement(tr.Orig, tr.Manual)))
+	}
+	t.row(spec...)
+	t.row(man...)
+	return t.String(), nil
+}
+
+// Table3 reproduces the transformed-application statistics: modification
+// time and executable size growth.
+func Table3(scale apps.Scale) (string, error) {
+	t := newTable("Table 3: transformed application statistics")
+	t.row("Benchmark", "Modification time", "Executable size", "% increase",
+		"COW checks", "static jumps", "handler jumps", "jump tables")
+	for _, app := range Apps {
+		b, err := apps.Build(app, scale)
+		if err != nil {
+			return "", err
+		}
+		ts := b.Transform
+		t.row(app.String(),
+			ts.Elapsed.String(),
+			fmt.Sprintf("%d B", ts.TotalBytes),
+			pct(ts.SizeIncreasePct()),
+			fmt.Sprint(ts.ChecksAdded),
+			fmt.Sprint(ts.StaticJumps),
+			fmt.Sprint(ts.DynamicJumps),
+			fmt.Sprint(ts.TablesStatic),
+		)
+	}
+	return t.String(), nil
+}
+
+// Figure3 reproduces the headline performance chart: elapsed time of the
+// original, speculating and manually-hinted builds on four disks.
+func Figure3(s *Suite) (string, error) {
+	t := newTable("Figure 3: elapsed time (seconds), 4 disks, 12 MB cache")
+	t.row("Benchmark", "Original", "Speculating", "Manual", "Spec improv.", "Manual improv.")
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		t.row(app.String(), secs(tr.Orig), secs(tr.Spec), secs(tr.Manual),
+			pct(Improvement(tr.Orig, tr.Spec)), pct(Improvement(tr.Orig, tr.Manual)))
+	}
+	return t.String(), nil
+}
+
+// Figure4 reproduces the worst-case overhead measurement: the speculating
+// binary with TIP configured to ignore hints, versus the original.
+func Figure4(s *Suite) (string, error) {
+	t := newTable("Figure 4: runtime overhead with TIP ignoring hints")
+	t.row("Benchmark", "Original (s)", "Speculating, hints ignored (s)", "Overhead")
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		ig, _, err := Run(app, core.ModeSpeculating, s.Scale, func(c *core.Config) {
+			c.TIP.IgnoreHints = true
+		})
+		if err != nil {
+			return "", err
+		}
+		over := 100 * (float64(ig.Elapsed)/float64(tr.Orig.Elapsed) - 1)
+		t.row(app.String(), secs(tr.Orig), secs(ig), pct(over))
+	}
+	return t.String(), nil
+}
+
+// Table4 reproduces the hinting statistics.
+func Table4(s *Suite) (string, error) {
+	t := newTable("Table 4: hinting statistics")
+	t.row("Benchmark", "", "Read calls", "Read blocks", "Read bytes", "Write calls", "Write bytes")
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		o, sp, mn := tr.Orig.Tip, tr.Spec.Tip, tr.Manual.Tip
+		t.row(app.String(), "total",
+			fmt.Sprint(o.ReadCalls), fmt.Sprint(o.ReadBlocks), fmt.Sprint(o.ReadBytes),
+			fmt.Sprint(tr.Orig.WriteCalls), fmt.Sprint(tr.Orig.WriteBytes))
+		t.row("", "% hinted",
+			pct(100*float64(sp.HintedReadCalls)/f(sp.ReadCalls)),
+			pct(100*float64(sp.HintedReadBlocks)/f(sp.ReadBlocks)),
+			pct(100*float64(sp.HintedReadBytes)/f(sp.ReadBytes)), "-", "-")
+		t.row("", "inaccurately hinted",
+			fmt.Sprint(sp.InaccurateCalls()),
+			fmt.Sprint(sp.InaccurateBlocks()),
+			fmt.Sprint(sp.InaccurateBytes()), "-", "-")
+		t.row("", "% manually hinted",
+			pct(100*float64(mn.HintedReadCalls)/f(mn.ReadCalls)),
+			pct(100*float64(mn.HintedReadBlocks)/f(mn.ReadBlocks)),
+			pct(100*float64(mn.HintedReadBytes)/f(mn.ReadBytes)), "-", "-")
+	}
+	return t.String(), nil
+}
+
+func f(v int64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}
+
+// Table5 reproduces the prefetching and caching statistics.
+func Table5(s *Suite) (string, error) {
+	t := newTable("Table 5: prefetching and caching statistics")
+	t.row("Benchmark", "", "Cache block reads", "Prefetched", "Fully", "%", "Partially", "%", "Unused", "%", "Reuses")
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		for _, v := range []struct {
+			name string
+			st   *core.RunStats
+		}{{"Original", tr.Orig}, {"SpecHint", tr.Spec}, {"Manual", tr.Manual}} {
+			c := v.st.Cache
+			pref := v.st.Tip.PrefetchedBlocks()
+			unused := c.UnusedHint + c.UnusedRA
+			t.row(app.String(), v.name,
+				fmt.Sprint(c.Hits+c.Misses),
+				fmt.Sprint(pref),
+				fmt.Sprint(c.FullyPref), pct(100*float64(c.FullyPref)/f(pref)),
+				fmt.Sprint(c.PartialWaits), pct(100*float64(c.PartialWaits)/f(pref)),
+				fmt.Sprint(unused), pct(100*float64(unused)/f(pref)),
+				fmt.Sprint(c.Reuses))
+		}
+	}
+	return t.String(), nil
+}
+
+// Table6 reproduces the performance side-effects of speculation.
+func Table6(s *Suite) (string, error) {
+	t := newTable("Table 6: performance side-effects of speculative execution")
+	t.row("Benchmark", "", "Footprint", "Reclaims", "Faults", "Sigs", "Restarts")
+	for _, app := range Apps {
+		tr, err := s.Triple(app)
+		if err != nil {
+			return "", err
+		}
+		for _, v := range []struct {
+			name string
+			st   *core.RunStats
+		}{{"Original", tr.Orig}, {"SpecHint", tr.Spec}, {"Manual", tr.Manual}} {
+			t.row(app.String(), v.name,
+				fmt.Sprintf("%d KB", v.st.FootprintBytes/1024),
+				fmt.Sprint(v.st.Pages.Reclaims),
+				fmt.Sprint(v.st.Pages.Faults),
+				fmt.Sprint(v.st.SpecSignals),
+				fmt.Sprint(v.st.Restarts))
+		}
+	}
+	return t.String(), nil
+}
+
+// Table7 reproduces the file-cache-size sensitivity study.
+func Table7(scale apps.Scale) (string, error) {
+	t := newTable("Table 7: elapsed time (s) as the file cache size is varied")
+	sizes := []int{6, 12, 64}
+	t.row("Benchmark", "", "6 MB", "12 MB", "64 MB")
+	for _, app := range Apps {
+		rows := map[core.Mode][]string{}
+		var base []*core.RunStats
+		for _, mb := range sizes {
+			mut := func(mb int) Mutator {
+				return func(c *core.Config) { c.TIP.CacheBlocks = mb << 20 / c.Disk.BlockSize }
+			}(mb)
+			tr, err := RunTriple(app, scale, mut)
+			if err != nil {
+				return "", err
+			}
+			base = append(base, tr.Orig)
+			rows[core.ModeNoHint] = append(rows[core.ModeNoHint], secs(tr.Orig))
+			rows[core.ModeSpeculating] = append(rows[core.ModeSpeculating],
+				fmt.Sprintf("%s (%s)", secs(tr.Spec), pct(Improvement(tr.Orig, tr.Spec))))
+			rows[core.ModeManual] = append(rows[core.ModeManual],
+				fmt.Sprintf("%s (%s)", secs(tr.Manual), pct(Improvement(tr.Orig, tr.Manual))))
+		}
+		_ = base
+		t.row(append([]string{app.String(), "Original"}, rows[core.ModeNoHint]...)...)
+		t.row(append([]string{"", "SpecHint"}, rows[core.ModeSpeculating]...)...)
+		t.row(append([]string{"", "Manual"}, rows[core.ModeManual]...)...)
+	}
+	return t.String(), nil
+}
+
+// Table8 reproduces the original applications' insensitivity to the number
+// of disks.
+func Table8(scale apps.Scale) (string, error) {
+	t := newTable("Table 8: elapsed time (s) of original applications vs number of disks")
+	disks := []int{1, 2, 4, 10}
+	header := []string{"Benchmark"}
+	for _, d := range disks {
+		header = append(header, fmt.Sprint(d))
+	}
+	t.row(header...)
+	for _, app := range Apps {
+		cells := []string{app.String()}
+		for _, d := range disks {
+			st, _, err := Run(app, core.ModeNoHint, scale, func(c *core.Config) {
+				c.Disk = core.TestbedDisk(d)
+			})
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, secs(st))
+		}
+		t.row(cells...)
+	}
+	return t.String(), nil
+}
+
+// Figure5Disks is the disk-count sweep used by Figure5.
+var Figure5Disks = []int{1, 2, 3, 4, 6, 8, 10}
+
+// Figure5 reproduces the performance-improvement-vs-parallelism curves.
+func Figure5(scale apps.Scale) (string, error) {
+	t := newTable("Figure 5: % improvement vs number of disks")
+	header := []string{"Series"}
+	for _, d := range Figure5Disks {
+		header = append(header, fmt.Sprintf("%dd", d))
+	}
+	t.row(header...)
+	for _, app := range Apps {
+		spec := []string{app.String() + " speculating"}
+		man := []string{app.String() + " manual"}
+		for _, d := range Figure5Disks {
+			tr, err := RunTriple(app, scale, func(c *core.Config) {
+				c.Disk = core.TestbedDisk(d)
+			})
+			if err != nil {
+				return "", err
+			}
+			spec = append(spec, pct(Improvement(tr.Orig, tr.Spec)))
+			man = append(man, pct(Improvement(tr.Orig, tr.Manual)))
+		}
+		t.row(spec...)
+		t.row(man...)
+	}
+	return t.String(), nil
+}
+
+// Figure6Ratios is the processor/disk speed-ratio sweep used by Figure6.
+var Figure6Ratios = []int{1, 2, 3, 5, 7, 9}
+
+// Figure6 reproduces the widening processor/disk gap simulation: completion
+// notification is delayed by the ratio (and at most one prefetch is kept
+// outstanding per disk, as the paper configured), then measured elapsed
+// times are scaled back down by the ratio.
+func Figure6(scale apps.Scale) (string, error) {
+	t := newTable("Figure 6: % improvement vs processor/disk speed ratio (4 disks)")
+	header := []string{"Series"}
+	for _, r := range Figure6Ratios {
+		header = append(header, fmt.Sprintf("x%d", r))
+	}
+	t.row(header...)
+	for _, app := range Apps {
+		spec := []string{app.String() + " speculating"}
+		man := []string{app.String() + " manual"}
+		for _, r := range Figure6Ratios {
+			mut := func(r int) Mutator {
+				return func(c *core.Config) {
+					c.Disk.DelayFactor = r
+					c.Disk.MaxPrefetchPerDisk = 1
+					c.MaxCycles *= int64(r)
+				}
+			}(r)
+			tr, err := RunTriple(app, scale, mut)
+			if err != nil {
+				return "", err
+			}
+			// Scale measurements by 1/ratio, as the paper did. Improvement
+			// is a ratio of elapsed times, so the scaling cancels; it is
+			// the delayed *notification* that changes behaviour.
+			spec = append(spec, pct(Improvement(tr.Orig, tr.Spec)))
+			man = append(man, pct(Improvement(tr.Orig, tr.Manual)))
+		}
+		t.row(spec...)
+		t.row(man...)
+	}
+	return t.String(), nil
+}
+
+// RegionSizes is the §3.2.1 COW-region-size ablation sweep.
+var RegionSizes = []int{128, 512, 1024, 4096, 8192}
+
+// RegionSize reproduces the §3.2.1 observation that the copy-on-write
+// region size generally makes little difference.
+func RegionSize(scale apps.Scale) (string, error) {
+	t := newTable("§3.2.1 ablation: speculating elapsed time (s) vs COW region size")
+	header := []string{"Benchmark"}
+	for _, rs := range RegionSizes {
+		header = append(header, fmt.Sprintf("%dB", rs))
+	}
+	t.row(header...)
+	for _, app := range Apps {
+		cells := []string{app.String()}
+		for _, rs := range RegionSizes {
+			st, _, err := Run(app, core.ModeSpeculating, scale, func(c *core.Config) {
+				c.Machine.COWRegion = rs
+			})
+			if err != nil {
+				return "", err
+			}
+			cells = append(cells, secs(st))
+		}
+		t.row(cells...)
+	}
+	return t.String(), nil
+}
+
+// Throttle reproduces the §5 result: the ad-hoc cancel throttle eliminates
+// Gnuld's speculation penalty when the I/O system offers no parallelism.
+func Throttle(scale apps.Scale) (string, error) {
+	t := newTable("§5: Gnuld on one disk, with and without the cancel throttle")
+	t.row("Configuration", "Elapsed (s)", "Restarts", "vs original")
+	orig, _, err := Run(apps.Gnuld, core.ModeNoHint, scale, func(c *core.Config) {
+		c.Disk = core.TestbedDisk(1)
+	})
+	if err != nil {
+		return "", err
+	}
+	t.row("original", secs(orig), "0", "-")
+	off, _, err := Run(apps.Gnuld, core.ModeSpeculating, scale, func(c *core.Config) {
+		c.Disk = core.TestbedDisk(1)
+	})
+	if err != nil {
+		return "", err
+	}
+	t.row("speculating, no throttle", secs(off), fmt.Sprint(off.Restarts), pct(Improvement(orig, off)))
+	on, _, err := Run(apps.Gnuld, core.ModeSpeculating, scale, func(c *core.Config) {
+		c.Disk = core.TestbedDisk(1)
+		c.CancelThrottle = 2
+		c.CancelThrottleCycles = 500_000_000
+	})
+	if err != nil {
+		return "", err
+	}
+	t.row("speculating, throttle", secs(on), fmt.Sprint(on.Restarts), pct(Improvement(orig, on)))
+	return t.String(), nil
+}
+
+// TransformOptions returns spechint.Options used by every experiment (the
+// defaults); exposed so ablation tooling shares them.
+func TransformOptions() spechint.Options { return spechint.DefaultOptions() }
+
+// MultiProcessor explores the paper's §5 multiprocessor scenario: the
+// speculating thread runs on a second processor, in parallel with normal
+// execution instead of only during I/O stalls. Data-dependence-free
+// applications whose hint generation was dilation-limited (Agrep on large
+// arrays) benefit most.
+func MultiProcessor(scale apps.Scale) (string, error) {
+	t := newTable("§5 extension: speculation on a second processor (% improvement over original)")
+	t.row("Benchmark", "disks", "1 CPU spec", "2 CPU spec", "manual")
+	for _, app := range Apps {
+		for _, d := range []int{4, 10} {
+			mut := func(d int, mp bool) Mutator {
+				return func(c *core.Config) {
+					c.Disk = core.TestbedDisk(d)
+					c.DualProcessor = mp
+				}
+			}
+			tr, err := RunTriple(app, scale, mut(d, false))
+			if err != nil {
+				return "", err
+			}
+			mp, _, err := Run(app, core.ModeSpeculating, scale, mut(d, true))
+			if err != nil {
+				return "", err
+			}
+			t.row(app.String(), fmt.Sprint(d),
+				pct(Improvement(tr.Orig, tr.Spec)),
+				pct(Improvement(tr.Orig, mp)),
+				pct(Improvement(tr.Orig, tr.Manual)))
+		}
+	}
+	return t.String(), nil
+}
+
+// AdaptiveLimiter compares the §5 erroneous-hint limiters on the hostile
+// configuration (Gnuld, one disk): no limiter, the fixed cancel throttle,
+// and the accuracy-gated adaptive limiter.
+func AdaptiveLimiter(scale apps.Scale) (string, error) {
+	t := newTable("§5 extension: erroneous-hint limiters (Gnuld, 1 disk)")
+	t.row("Configuration", "Elapsed (s)", "Restarts", "vs original")
+	oneDisk := func(c *core.Config) { c.Disk = core.TestbedDisk(1) }
+	orig, _, err := Run(apps.Gnuld, core.ModeNoHint, scale, oneDisk)
+	if err != nil {
+		return "", err
+	}
+	t.row("original", secs(orig), "0", "-")
+	cases := []struct {
+		name string
+		mut  Mutator
+	}{
+		{"no limiter", oneDisk},
+		{"fixed cancel throttle", func(c *core.Config) {
+			oneDisk(c)
+			c.CancelThrottle = 2
+			c.CancelThrottleCycles = 500_000_000
+		}},
+		{"adaptive (accuracy-gated)", func(c *core.Config) {
+			oneDisk(c)
+			c.AdaptiveThrottle = true
+		}},
+	}
+	for _, cse := range cases {
+		st, _, err := Run(apps.Gnuld, core.ModeSpeculating, scale, cse.mut)
+		if err != nil {
+			return "", err
+		}
+		t.row(cse.name, secs(st), fmt.Sprint(st.Restarts), pct(Improvement(orig, st)))
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"spechint/internal/apps"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	Name  string
+	Desc  string
+	Run   func(scale apps.Scale, w io.Writer) error
+	Heavy bool // involves a parameter sweep (long running)
+}
+
+// suiteExp wraps experiments that share the default-configuration triples.
+func suiteExp(fn func(*Suite) (string, error)) func(apps.Scale, io.Writer) error {
+	return func(scale apps.Scale, w io.Writer) error {
+		s := NewSuite(scale)
+		out, err := fn(s)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, out)
+		return err
+	}
+}
+
+func scaleExp(fn func(apps.Scale) (string, error)) func(apps.Scale, io.Writer) error {
+	return func(scale apps.Scale, w io.Writer) error {
+		out, err := fn(scale)
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, out)
+		return err
+	}
+}
+
+// Registry lists every experiment by id.
+var Registry = map[string]Experiment{
+	"table1":     {Name: "table1", Desc: "manual-hint improvements (background)", Run: suiteExp(Table1)},
+	"table3":     {Name: "table3", Desc: "transformed application statistics", Run: scaleExp(Table3)},
+	"fig3":       {Name: "fig3", Desc: "elapsed time: original vs speculating vs manual", Run: suiteExp(Figure3)},
+	"fig4":       {Name: "fig4", Desc: "overhead with TIP ignoring hints", Run: suiteExp(Figure4)},
+	"table4":     {Name: "table4", Desc: "hinting statistics", Run: suiteExp(Table4)},
+	"table5":     {Name: "table5", Desc: "prefetching and caching statistics", Run: suiteExp(Table5)},
+	"table6":     {Name: "table6", Desc: "performance side-effects", Run: suiteExp(Table6)},
+	"table7":     {Name: "table7", Desc: "file cache size sweep", Run: scaleExp(Table7), Heavy: true},
+	"table8":     {Name: "table8", Desc: "original apps vs number of disks", Run: scaleExp(Table8), Heavy: true},
+	"fig5":       {Name: "fig5", Desc: "improvement vs number of disks", Run: scaleExp(Figure5), Heavy: true},
+	"fig6":       {Name: "fig6", Desc: "improvement vs processor/disk speed ratio", Run: scaleExp(Figure6), Heavy: true},
+	"regionsize": {Name: "regionsize", Desc: "COW region size ablation (§3.2.1)", Run: scaleExp(RegionSize), Heavy: true},
+	"throttle":   {Name: "throttle", Desc: "cancel throttle on one disk (§5)", Run: scaleExp(Throttle)},
+	"mp":         {Name: "mp", Desc: "speculation on a second processor (§5 extension)", Run: scaleExp(MultiProcessor), Heavy: true},
+	"adaptive":   {Name: "adaptive", Desc: "accuracy-gated erroneous-hint limiter (§5 extension)", Run: scaleExp(AdaptiveLimiter)},
+	"join":       {Name: "join", Desc: "Postgres join improvement vs selectivity (Table 1 extension)", Run: scaleExp(JoinSelectivity), Heavy: true},
+}
+
+// Names returns experiment ids in stable order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunByName runs one experiment by id.
+func RunByName(name string, scale apps.Scale, w io.Writer) error {
+	e, ok := Registry[name]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.Run(scale, w)
+}

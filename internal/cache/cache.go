@@ -1,0 +1,286 @@
+// Package cache implements the file (buffer) cache that TIP manages: a fixed
+// pool of block-sized buffers indexed by global logical block number, with an
+// LRU list for unhinted blocks and hint-distance-aware eviction for hinted
+// ones.
+//
+// The cache tracks timing state only — block *content* always comes from the
+// simulated file system, which is what lets the simulation stay cheap while
+// still accounting hits, misses, partial prefetches and evictions exactly.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+)
+
+// State is a cache block's lifecycle state.
+type State int
+
+const (
+	// Absent blocks are not in the cache (Get returns nil instead).
+	Absent State = iota
+	// InTransit blocks have a disk request outstanding.
+	InTransit
+	// Valid blocks hold data.
+	Valid
+)
+
+// NoHint marks a block with no outstanding hint.
+const NoHint = int64(math.MaxInt64)
+
+// Origin records how a block entered the cache, for the Table 5 accounting.
+type Origin int
+
+const (
+	// OriginDemand blocks were fetched by a blocking read.
+	OriginDemand Origin = iota
+	// OriginHint blocks were prefetched from an application hint.
+	OriginHint
+	// OriginReadahead blocks were prefetched by the sequential read-ahead policy.
+	OriginReadahead
+)
+
+// Block is one cache buffer.
+type Block struct {
+	LB       int64 // global logical block number
+	Origin   Origin
+	HintDist int64 // position in the hint sequence; NoHint if unhinted
+
+	state    State
+	uses     int // demand accesses since arrival
+	waiters  []func()
+	elem     *list.Element // position in the LRU list (valid blocks only)
+	arrival  int64         // tick of arrival, for diagnostics
+	demanded bool          // a demand read upgraded/waited on this block
+}
+
+// State returns the block's lifecycle state.
+func (b *Block) State() State { return b.state }
+
+// Uses returns the number of demand accesses since the block arrived.
+func (b *Block) Uses() int { return b.uses }
+
+// Stats is the cache-side slice of the paper's Table 5.
+type Stats struct {
+	Hits         int64 // demand accesses served by a Valid block
+	FullyPref    int64 // prefetched blocks whose fetch completed before first demand
+	PartialWaits int64 // demand accesses that waited on an in-transit prefetched block
+	Misses       int64 // demand accesses requiring a new disk fetch
+	Reuses       int64 // second-or-later demand access to the same buffer
+	EvictedClean int64 // valid blocks evicted
+	UnusedHint   int64 // hint-prefetched blocks evicted (or left) with zero uses
+	UnusedRA     int64 // readahead-prefetched blocks evicted (or left) with zero uses
+}
+
+// Cache is the buffer pool. It is not safe for concurrent use; the simulation
+// is single-threaded by construction.
+type Cache struct {
+	capacity int
+	blocks   map[int64]*Block
+	lru      *list.List // front = LRU (eviction end), back = MRU
+	tick     int64
+	stats    Stats
+}
+
+// New returns a cache with the given capacity in blocks.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("cache: capacity %d", capacity))
+	}
+	return &Cache{
+		capacity: capacity,
+		blocks:   make(map[int64]*Block),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the pool size in blocks.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of buffers in use (valid + in transit).
+func (c *Cache) Len() int { return len(c.blocks) }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Get returns the block for lb, or nil if absent.
+func (c *Cache) Get(lb int64) *Block { return c.blocks[lb] }
+
+// Acquire allocates a buffer for lb in the InTransit state, evicting a
+// less-valuable block if the pool is full. hintDist is the requesting
+// stream's distance to the block (NoHint for demand fetches and readahead,
+// which use LRU value only). It returns nil if no buffer could be freed —
+// every cached block is either in transit or more valuable than the request.
+//
+// Acquire panics if lb is already present; callers must check Get first.
+func (c *Cache) Acquire(lb int64, origin Origin, hintDist int64) *Block {
+	if _, ok := c.blocks[lb]; ok {
+		panic(fmt.Sprintf("cache: Acquire of present block %d", lb))
+	}
+	if len(c.blocks) >= c.capacity {
+		if !c.evictFor(origin, hintDist) {
+			return nil
+		}
+	}
+	c.tick++
+	b := &Block{LB: lb, Origin: origin, HintDist: hintDist, state: InTransit, arrival: c.tick}
+	c.blocks[lb] = b
+	return b
+}
+
+// evictFor frees one buffer for a request with the given origin and hint
+// distance. Policy (a simplification of TIP's cost-benefit analysis):
+//
+//  1. Prefer the LRU unhinted valid block.
+//  2. Otherwise evict the hinted valid block with the greatest hint distance,
+//     but only if that distance exceeds the incoming request's — ejecting a
+//     hinted block to fetch data needed even later is never beneficial.
+//  3. Demand fetches (hintDist == NoHint, origin OriginDemand) may always
+//     take the greatest-distance hinted block: stalling the application is
+//     the highest cost in the model.
+//
+// In-transit blocks are never evicted.
+func (c *Cache) evictFor(origin Origin, hintDist int64) bool {
+	// Case 1: LRU unhinted block.
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*Block)
+		if b.HintDist == NoHint {
+			c.evict(b)
+			return true
+		}
+	}
+	// Case 2/3: furthest hinted block.
+	var victim *Block
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*Block)
+		if victim == nil || b.HintDist > victim.HintDist {
+			victim = b
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	incoming := hintDist
+	if origin == OriginDemand {
+		incoming = -1 // demand data is needed now; it always wins
+	}
+	if victim.HintDist > incoming {
+		c.evict(victim)
+		return true
+	}
+	return false
+}
+
+func (c *Cache) evict(b *Block) {
+	c.stats.EvictedClean++
+	c.noteUnusedIfPrefetched(b)
+	c.lru.Remove(b.elem)
+	delete(c.blocks, b.LB)
+}
+
+func (c *Cache) noteUnusedIfPrefetched(b *Block) {
+	if b.uses > 0 {
+		return
+	}
+	switch b.Origin {
+	case OriginHint:
+		c.stats.UnusedHint++
+	case OriginReadahead:
+		c.stats.UnusedRA++
+	}
+}
+
+// Complete transitions an in-transit block to Valid and wakes its waiters.
+func (c *Cache) Complete(lb int64) {
+	b := c.blocks[lb]
+	if b == nil || b.state != InTransit {
+		panic(fmt.Sprintf("cache: Complete of block %d in bad state", lb))
+	}
+	b.state = Valid
+	b.elem = c.lru.PushBack(b)
+	ws := b.waiters
+	b.waiters = nil
+	for _, w := range ws {
+		w()
+	}
+}
+
+// Wait registers fn to run when the in-transit block lb becomes valid.
+func (c *Cache) Wait(lb int64, fn func()) {
+	b := c.blocks[lb]
+	if b == nil || b.state != InTransit {
+		panic(fmt.Sprintf("cache: Wait on block %d in bad state", lb))
+	}
+	b.waiters = append(b.waiters, fn)
+}
+
+// Touch records a demand access to a valid block: it moves the block to the
+// MRU end and updates hit/reuse statistics.
+func (c *Cache) Touch(lb int64) {
+	b := c.blocks[lb]
+	if b == nil || b.state != Valid {
+		panic(fmt.Sprintf("cache: Touch of block %d in bad state", lb))
+	}
+	c.stats.Hits++
+	if b.uses > 0 {
+		c.stats.Reuses++
+	} else if b.Origin != OriginDemand && !b.demanded {
+		// First demand access found a prefetched block already valid: the
+		// prefetch fully hid its latency (Table 5's "Fully" column).
+		c.stats.FullyPref++
+	}
+	b.uses++
+	c.lru.MoveToBack(b.elem)
+}
+
+// NoteDemandWait records that a demand read is waiting on an in-transit
+// block. If the block was a prefetch, its latency was only partially hidden
+// (Table 5's "Partially" column).
+func (c *Cache) NoteDemandWait(lb int64) {
+	b := c.blocks[lb]
+	if b == nil || b.state != InTransit {
+		panic(fmt.Sprintf("cache: NoteDemandWait on block %d in bad state", lb))
+	}
+	if !b.demanded && b.Origin != OriginDemand {
+		c.stats.PartialWaits++
+	}
+	b.demanded = true
+}
+
+// Drop removes an in-transit block that never got a disk request (the disk
+// rejected it under prefetch back-pressure). Dropping a block with waiters
+// or in any other state panics: it would strand the waiters.
+func (c *Cache) Drop(lb int64) {
+	b := c.blocks[lb]
+	if b == nil || b.state != InTransit || len(b.waiters) > 0 {
+		panic(fmt.Sprintf("cache: Drop of block %d in bad state", lb))
+	}
+	delete(c.blocks, lb)
+}
+
+// NoteMiss records a demand fetch for an absent block.
+func (c *Cache) NoteMiss() { c.stats.Misses++ }
+
+// SetHintDist updates a block's hint distance (e.g. after a CANCEL_ALL the
+// block becomes unhinted; after a new hint it gains a distance).
+func (c *Cache) SetHintDist(lb, dist int64) {
+	if b := c.blocks[lb]; b != nil {
+		b.HintDist = dist
+	}
+}
+
+// ForEach visits every cached block (any state), in unspecified order.
+func (c *Cache) ForEach(fn func(*Block)) {
+	for _, b := range c.blocks {
+		fn(b)
+	}
+}
+
+// FlushAccounting finalizes end-of-run statistics: prefetched blocks still
+// resident with zero uses are counted as unused, exactly like evictions.
+func (c *Cache) FlushAccounting() {
+	for _, b := range c.blocks {
+		c.noteUnusedIfPrefetched(b)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"spechint/internal/asm"
+	"spechint/internal/fsim"
+	"spechint/internal/spechint"
+	"spechint/internal/vm"
+)
+
+// dispatchSrc is a record-processing program built around the §3.2.1 control
+// transfers: each record's first byte selects a handler through a jump table
+// (switch statement), and a function pointer selects the checksum routine.
+// Speculation must follow both — the jump table statically (recognized
+// format), the function pointer through the dynamic handling routine.
+func dispatchSrc(files []string) string {
+	s := `
+.data
+buf:   .space 8192
+tbl:   .jumptable absolute h0, h1, h2, h3
+fnptr: .word sum8
+`
+	s += fmt.Sprintf("nfiles: .word %d\nfiles: .word ", len(files))
+	for i := range files {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("p%d", i)
+	}
+	s += "\n"
+	for i, n := range files {
+		s += fmt.Sprintf("p%d: .asciz %q\n", i, n)
+	}
+	s += `
+.text
+main:
+    ldw  r20, nfiles
+    movi r21, files
+next:
+    beq  r20, r0, done
+    ldw  r1, (r21)
+    syscall open
+    mov  r10, r1
+rd:
+    mov  r1, r10
+    movi r2, buf
+    movi r3, 8192
+    syscall read
+    beq  r1, r0, eof
+    mov  r15, r1          ; bytes read
+    ; switch (buf[0] & 3) via the jump table (the idiom SpecHint recognizes)
+    ldb  r4, buf
+    andi r4, r4, 3
+    shli r4, r4, 3
+    ldw  r6, tbl(r4)
+    jr   r6
+h0: addi r22, r22, 1
+    jmp  hdone
+h1: addi r22, r22, 10
+    jmp  hdone
+h2: addi r22, r22, 100
+    jmp  hdone
+h3: addi r22, r22, 1000
+hdone:
+    ; checksum the chunk through a function pointer (r15 = len)
+    ldw  r7, fnptr
+    callr r7
+    jmp  rd
+eof:
+    mov  r1, r10
+    syscall close
+    addi r21, r21, 8
+    addi r20, r20, -1
+    jmp  next
+done:
+    movi r2, 0xffffff
+    and  r1, r22, r2
+    syscall exit
+
+; sum8: add every 8th byte of buf[0:r15] into r22 (clobbers r4-r6)
+sum8:
+    movi r4, buf
+    add  r5, r4, r15
+s8:
+    ldb  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, 8
+    blt  r4, r5, s8
+    ret
+`
+	return s
+}
+
+func buildDispatchFS(t *testing.T) (*fsim.FS, []string) {
+	t.Helper()
+	fs := fsim.New(8192)
+	var names []string
+	for i := 0; i < 10; i++ {
+		data := make([]byte, 9000+i*500)
+		for j := range data {
+			data[j] = byte((i*31 + j*7) % 253)
+		}
+		name := fmt.Sprintf("rec%d.dat", i)
+		fs.MustCreate(name, data)
+		names = append(names, name)
+	}
+	return fs, names
+}
+
+func TestJumpTableAndFunctionPointerUnderSpeculation(t *testing.T) {
+	fs1, names := buildDispatchFS(t)
+	src := dispatchSrc(names)
+	orig := runMode(t, DefaultConfig(ModeNoHint), src, fs1)
+
+	// Verify the transform recognized the jump table and routed the
+	// function-pointer call through the handler.
+	prog := asm.MustAssemble(src)
+	tp, st, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TablesStatic != 1 {
+		t.Fatalf("TablesStatic = %d, want the switch recognized", st.TablesStatic)
+	}
+	if st.DynamicJumps < 2 { // callr + ret at least
+		t.Fatalf("DynamicJumps = %d, want >= 2", st.DynamicJumps)
+	}
+
+	fs2, _ := buildDispatchFS(t)
+	sys, err := New(DefaultConfig(ModeSpeculating), tp, fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.ExitCode != orig.ExitCode {
+		t.Fatalf("speculation through jump table broke results: %d vs %d", spec.ExitCode, orig.ExitCode)
+	}
+	if spec.HintedReads == 0 {
+		t.Fatal("speculation produced no hints through the dispatch loop")
+	}
+	if spec.Elapsed >= orig.Elapsed {
+		t.Fatalf("no speedup: %d vs %d", spec.Elapsed, orig.Elapsed)
+	}
+}
+
+// TestUnknownJumpTableFormatStillCorrect: a table SpecHint does not
+// recognize must fall back to the dynamic handler without breaking anything.
+func TestUnknownJumpTableFormatStillCorrect(t *testing.T) {
+	fs1, names := buildDispatchFS(t)
+	src := dispatchSrc(names)
+	// Demote the table to an unrecognized format.
+	srcU := ""
+	for _, line := range []byte(src) {
+		srcU += string(line)
+	}
+	srcU = replaceOnce(t, srcU, ".jumptable absolute", ".jumptable unknown")
+
+	prog := asm.MustAssemble(srcU)
+	tp, st, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TablesStatic != 0 {
+		t.Fatalf("unknown-format table statically recognized: %+v", st)
+	}
+	sys, err := New(DefaultConfig(ModeSpeculating), tp, fs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := buildDispatchFS(t)
+	orig := runMode(t, DefaultConfig(ModeNoHint), srcU, fs2)
+	if spec.ExitCode != orig.ExitCode {
+		t.Fatalf("results diverge with handler-routed table: %d vs %d", spec.ExitCode, orig.ExitCode)
+	}
+}
+
+func replaceOnce(t *testing.T, s, old, new string) string {
+	t.Helper()
+	for i := 0; i+len(old) <= len(s); i++ {
+		if s[i:i+len(old)] == old {
+			return s[:i] + new + s[i+len(old):]
+		}
+	}
+	t.Fatalf("pattern %q not found", old)
+	return ""
+}
+
+// TestSpecHintOptionsAblationsRun: the transform's option ablations must
+// produce runnable, correct programs.
+func TestSpecHintOptionsAblationsRun(t *testing.T) {
+	fs0, names := buildDispatchFS(t)
+	src := dispatchSrc(names)
+	orig := runMode(t, DefaultConfig(ModeNoHint), src, fs0)
+
+	for _, opt := range []spechint.Options{
+		{RemoveOutputRoutines: false, StackCopyOptimization: true, JumpTableLookback: 4},
+		{RemoveOutputRoutines: true, StackCopyOptimization: false, JumpTableLookback: 4},
+		{RemoveOutputRoutines: true, StackCopyOptimization: true, JumpTableLookback: 1},
+	} {
+		prog := asm.MustAssemble(src)
+		tp, _, err := spechint.Transform(prog, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, _ := buildDispatchFS(t)
+		sys, err := New(DefaultConfig(ModeSpeculating), tp, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ExitCode != orig.ExitCode {
+			t.Fatalf("options %+v broke correctness: %d vs %d", opt, st.ExitCode, orig.ExitCode)
+		}
+	}
+}
+
+// The vm redirect logic must map every original PC into the shadow range.
+func TestRedirectCoversWholeText(t *testing.T) {
+	prog := asm.MustAssemble(dispatchSrc([]string{"x"}))
+	tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pc := int64(0); pc < tp.OrigTextLen; pc++ {
+		if got := spechint.ShadowPC(tp, pc); got != pc+tp.ShadowBase {
+			t.Fatalf("ShadowPC(%d) = %d", pc, got)
+		}
+	}
+	_ = vm.NOP
+}

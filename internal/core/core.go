@@ -1,0 +1,342 @@
+// Package core is the speculative-execution runtime: it wires the VM, TIP,
+// the disk array and the file system together and implements everything the
+// paper's SpecHint runtime did at run time —
+//
+//   - the speculating thread's lifecycle under a strict-priority policy
+//     (speculation consumes only cycles the original thread spends stalled
+//     on disk reads),
+//   - the hint log and the on-track/off-track detection the original thread
+//     performs before every read,
+//   - the cooperative restart protocol (register save, restart flag, hint
+//     cancellation, COW reset, stack copy, resume after the blocked read in
+//     shadow code), and
+//   - the §5 ad-hoc throttle that disables speculation for a while after a
+//     burst of cancellations.
+//
+// A System runs one application in one of three modes — NoHint (the paper's
+// "Original"), Speculating (SpecHint-transformed), or Manual (programmer-
+// inserted hints) — and collects the statistics behind every table and
+// figure in the paper's evaluation.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"spechint/internal/cache"
+	"spechint/internal/disk"
+	"spechint/internal/fsim"
+	"spechint/internal/sim"
+	"spechint/internal/tip"
+	"spechint/internal/vm"
+)
+
+// Mode selects the hinting strategy, matching the paper's three bars.
+type Mode int
+
+const (
+	// ModeNoHint runs the unmodified application; only the OS's sequential
+	// read-ahead prefetches.
+	ModeNoHint Mode = iota
+	// ModeSpeculating runs a SpecHint-transformed binary with a speculating
+	// thread generating hints during I/O stalls.
+	ModeSpeculating
+	// ModeManual runs an application with programmer-inserted hint calls.
+	ModeManual
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNoHint:
+		return "original"
+	case ModeSpeculating:
+		return "speculating"
+	case ModeManual:
+		return "manual"
+	}
+	return "unknown"
+}
+
+// CPUHz is the simulated processor frequency (AlphaStation 255, 233 MHz);
+// used only to convert cycles to seconds in reports.
+const CPUHz = 233e6
+
+// Config assembles a full system.
+type Config struct {
+	Mode    Mode
+	Disk    disk.Config
+	TIP     tip.Config
+	Machine vm.Config
+
+	// Observable overheads on the original thread's path (paper §3.2.2:
+	// "at most, checking an entry in the hint log and saving its registers
+	// once per read").
+	HintLogCheckCycles int64
+	RegSaveCycles      int64
+	InitCycles         int64 // one-time: spawn the speculating thread etc.
+
+	// CopyPer8B charges user-buffer copies (read results, writes).
+	CopyPer8B int64
+
+	// PrintCycles is the extra cost of output routines (they flush buffers;
+	// the paper removes them from shadow code because they are expensive).
+	PrintCycles int64
+
+	// RestartBaseCycles is the fixed part of a speculation restart; the
+	// stack copy adds CopyPer8B per 8 bytes of live stack.
+	RestartBaseCycles int64
+
+	// CancelThrottle, when > 0, disables speculation for
+	// CancelThrottleCycles after that many restarts (paper §5's ad-hoc
+	// mechanism for limiting erroneous-hint damage).
+	CancelThrottle       int
+	CancelThrottleCycles int64
+
+	// AdaptiveThrottle is the paper's §5 "more generic method for limiting
+	// the number of erroneous hints": instead of a fixed cancel count, gate
+	// restarts on TIP's recent hint-accuracy estimate, backing off
+	// exponentially while accuracy stays below AdaptiveThreshold.
+	AdaptiveThrottle  bool
+	AdaptiveThreshold float64 // default 0.2 when AdaptiveThrottle is set
+	AdaptiveBackoff   int64   // initial backoff cycles (doubles; default 50M)
+
+	// DualProcessor runs the speculating thread on a second processor, in
+	// parallel with normal execution rather than only during I/O stalls —
+	// the paper's §5 multiprocessor scenario. Speculation still has strictly
+	// lower priority for shared resources (its prefetches remain
+	// prefetch-priority at the disks).
+	DualProcessor bool
+
+	// TraceEvents records a timeline of reads, hints, restarts and
+	// throttles (see Events / FormatTrace). Off by default: tracing a long
+	// run costs memory and time.
+	TraceEvents bool
+
+	// MaxCycles aborts a runaway simulation. Zero means no limit.
+	MaxCycles int64
+}
+
+// TestbedDisk returns the paper's array: HP C2247-class disks (15 ms average
+// access), 64 KB striping unit, 8 KB file-system blocks, with track-buffer
+// read-ahead. Times are in 233 MHz CPU cycles.
+func TestbedDisk(numDisks int) disk.Config {
+	return disk.Config{
+		NumDisks:       numDisks,
+		BlockSize:      8192,
+		StripeUnit:     65536,
+		PositionCycles: 3_495_000, // ~15 ms
+		TransferCycles: 466_000,   // ~2 ms (8 KB at ~4 MB/s)
+		TrackBufCycles: 186_000,   // ~0.8 ms from the track buffer
+		TrackBufBlocks: 4,
+		DelayFactor:    1,
+	}
+}
+
+// DefaultConfig returns the testbed configuration: four disks, 12 MB file
+// cache.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:               mode,
+		Disk:               TestbedDisk(4),
+		TIP:                tip.DefaultConfig(),
+		Machine:            vm.DefaultConfig(),
+		HintLogCheckCycles: 20,
+		RegSaveCycles:      64,
+		InitCycles:         50_000,
+		CopyPer8B:          1,
+		PrintCycles:        2_000,
+		RestartBaseCycles:  1_000,
+		MaxCycles:          1 << 42,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if err := c.TIP.Validate(); err != nil {
+		return err
+	}
+	if c.Mode < ModeNoHint || c.Mode > ModeManual {
+		return fmt.Errorf("core: bad mode %d", c.Mode)
+	}
+	if c.CopyPer8B < 0 || c.HintLogCheckCycles < 0 || c.RegSaveCycles < 0 {
+		return fmt.Errorf("core: negative overhead cycles")
+	}
+	return nil
+}
+
+// logEntry is one hint-log record: the speculating thread's prediction of a
+// future read call, identified exactly as the original thread will issue it.
+type logEntry struct {
+	ino, off, n int64
+}
+
+// pendingRead tracks the original thread's in-flight blocking read.
+type pendingRead struct {
+	fd   int64
+	buf  int64
+	file *fsim.File
+	off  int64
+	n    int64
+}
+
+// RunStats is everything one run produces; the bench harness assembles the
+// paper's tables and figures from these.
+type RunStats struct {
+	Mode     Mode
+	Elapsed  sim.Time
+	OrigBusy int64 // cycles the original thread computed
+	SpecBusy int64 // cycles the speculating thread consumed (stall time)
+
+	ReadCalls   int64 // explicit read calls by the original thread
+	HintedReads int64 // data-returning reads that arrived hinted
+	WriteCalls  int64
+	WriteBytes  int64
+
+	Restarts    int64
+	SpecSignals int64
+	SpecInstrs  int64
+	OrigInstrs  int64
+	ExitCode    int64
+
+	FootprintBytes int64
+	HintLogPeak    int
+
+	ReadGaps []int64 // original-thread cycles between successive reads
+	HintGaps []int64 // speculating-thread cycles between successive hints
+
+	Tip    tip.Stats
+	Cache  cache.Stats
+	Disk   disk.Stats
+	Pages  vm.PageStats
+	Output string
+}
+
+// Seconds converts the elapsed virtual time to testbed seconds.
+func (s *RunStats) Seconds() float64 { return float64(s.Elapsed) / CPUHz }
+
+// StallCycles is the time the original thread spent blocked.
+func (s *RunStats) StallCycles() int64 { return int64(s.Elapsed) - s.OrigBusy }
+
+// MedianReadGap returns the median number of original-thread cycles between
+// read calls (paper §4.4).
+func (s *RunStats) MedianReadGap() int64 { return median(s.ReadGaps) }
+
+// MedianHintGap returns the median number of speculating-thread cycles
+// between hint calls.
+func (s *RunStats) MedianHintGap() int64 { return median(s.HintGaps) }
+
+// DilationFactor is the ratio of the median inter-hint interval to the
+// median inter-read interval (>1 mainly due to copy-on-write checks).
+func (s *RunStats) DilationFactor() float64 {
+	r := s.MedianReadGap()
+	h := s.MedianHintGap()
+	if r <= 0 || h <= 0 {
+		return 0
+	}
+	return float64(h) / float64(r)
+}
+
+func median(xs []int64) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]int64(nil), xs...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	return c[len(c)/2]
+}
+
+// System is one configured run: program + mode + substrate.
+type System struct {
+	cfg  Config
+	clk  *sim.Queue
+	fs   *fsim.FS
+	arr  *disk.Array
+	tip  *tip.Manager
+	mach *vm.Machine
+	prog *vm.Program
+
+	orig    *vm.Thread
+	spec    *vm.Thread
+	origFDs *fsim.FDTable
+	specFDs *fsim.FDTable
+
+	hintLog []logEntry
+	logNext int
+
+	restartPending   bool
+	restartRemaining int64
+	backoffCycles    int64 // current adaptive-throttle backoff
+	savedRegs        [vm.NumRegs]int64
+	savedResult      int64
+	savedPC          int64 // original-text PC just after the read syscall
+	savedFD          int64 // descriptor of the off-track read
+	savedOff         int64 // its file offset before the read
+	cancelsRecent    int
+	disabledUntil    sim.Time
+
+	pending    *pendingRead
+	out        bytes.Buffer
+	sliceStart sim.Time
+	events     []Event
+
+	stats          RunStats
+	lastOrigReadAt int64
+	lastSpecHintAt int64
+	sawSpecHint    bool
+	sawOrigRead    bool
+}
+
+// New builds a System for prog over fs. In ModeSpeculating the program must
+// be SpecHint-transformed; in the other modes it must not be.
+func New(cfg Config, prog *vm.Program, fs *fsim.FS) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fs.BlockSize() != cfg.Disk.BlockSize {
+		return nil, fmt.Errorf("core: fs block size %d != disk block size %d", fs.BlockSize(), cfg.Disk.BlockSize)
+	}
+	transformed := prog.ShadowBase > 0
+	if cfg.Mode == ModeSpeculating && !transformed {
+		return nil, fmt.Errorf("core: ModeSpeculating requires a SpecHint-transformed program")
+	}
+	if cfg.Mode != ModeSpeculating && transformed {
+		return nil, fmt.Errorf("core: mode %v with a transformed program", cfg.Mode)
+	}
+
+	clk := sim.NewQueue()
+	arr, err := disk.New(clk, cfg.Disk)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := tip.New(clk, arr, fs, cfg.TIP)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, clk: clk, fs: fs, arr: arr, tip: tm, prog: prog}
+	s.mach, err = vm.NewMachine(prog, s, cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	s.orig = s.mach.NewThread("original", vm.Normal)
+	s.origFDs = fsim.NewFDTable()
+	if cfg.Mode == ModeSpeculating {
+		s.spec = s.mach.NewThread("speculating", vm.Speculative)
+		s.specFDs = fsim.NewFDTable()
+		s.orig.PendingCycles += cfg.InitCycles
+	}
+	s.stats.Mode = cfg.Mode
+	return s, nil
+}
+
+// Clock exposes the simulation clock (tests, tools).
+func (s *System) Clock() *sim.Queue { return s.clk }
+
+// TIP exposes the prefetching manager (tests, tools).
+func (s *System) TIP() *tip.Manager { return s.tip }
+
+// Output returns everything the program printed.
+func (s *System) Output() string { return s.out.String() }

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spechint/internal/asm"
+	"spechint/internal/fsim"
+	"spechint/internal/spechint"
+)
+
+// genProgram emits a random but well-formed disk-reading program: a seeded
+// sequence of opens, seeks, reads, buffer scans and arithmetic over a small
+// file set, ending in a checksum exit. Loops are bounded by read results, so
+// every generated program terminates.
+func genProgram(seed int64, nFiles int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString(".data\nbuf: .space 8192\n")
+	for i := 0; i < nFiles; i++ {
+		fmt.Fprintf(&b, "p%d: .asciz \"fz/f%d\"\n", i, i)
+	}
+	b.WriteString(".text\nmain:\n    movi r22, 1\n    movi r10, -1\n")
+
+	opened := false
+	steps := 8 + rng.Intn(20)
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(6) {
+		case 0, 1: // open (closing any previous fd)
+			if opened {
+				b.WriteString("    mov  r1, r10\n    syscall close\n")
+			}
+			fmt.Fprintf(&b, "    movi r1, p%d\n    syscall open\n    mov  r10, r1\n", rng.Intn(nFiles))
+			opened = true
+		case 2: // seek to a random offset
+			if !opened {
+				continue
+			}
+			fmt.Fprintf(&b, "    mov  r1, r10\n    movi r2, %d\n    movi r3, 0\n    syscall seek\n",
+				rng.Intn(40000))
+		case 3, 4: // read a random length and fold the result
+			if !opened {
+				continue
+			}
+			fmt.Fprintf(&b, `
+    mov  r1, r10
+    movi r2, buf
+    movi r3, %d
+    syscall read
+    add  r22, r22, r1
+    blt  r1, r0, skip%d
+    beq  r1, r0, skip%d
+    ; scan the valid bytes
+    movi r4, buf
+    add  r5, r4, r1
+scan%d:
+    ldb  r6, (r4)
+    add  r22, r22, r6
+    addi r4, r4, %d
+    blt  r4, r5, scan%d
+skip%d:
+`, 256+rng.Intn(8192), s, s, s, 1+rng.Intn(16), s, s)
+		case 5: // arithmetic churn (exercises COW on globals via stores)
+			fmt.Fprintf(&b, `
+    movi r7, %d
+    mul  r22, r22, r7
+    shri r22, r22, 1
+    stw  r22, buf+%d
+    ldw  r8, buf+%d
+    xor  r22, r22, r8
+`, 3+rng.Intn(100), rng.Intn(1024)*8, rng.Intn(1024)*8)
+		}
+	}
+	if opened {
+		b.WriteString("    mov  r1, r10\n    syscall close\n")
+	}
+	b.WriteString("    movi r2, 0xffffffff\n    and  r1, r22, r2\n    syscall exit\n")
+	return b.String()
+}
+
+func genFS(seed int64, nFiles int) *fsim.FS {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	fs := fsim.New(8192)
+	fs.SetLayout(8, 8)
+	for i := 0; i < nFiles; i++ {
+		data := make([]byte, 1000+rng.Intn(50000))
+		for j := 0; j < len(data); j += 13 {
+			data[j] = byte(rng.Intn(256))
+		}
+		fs.MustCreate(fmt.Sprintf("fz/f%d", i), data)
+	}
+	return fs
+}
+
+// TestFuzzSpeculationCorrectness: for any generated program, the
+// SpecHint-transformed build computes the identical result under every
+// runtime configuration, and stays roughly free.
+func TestFuzzSpeculationCorrectness(t *testing.T) {
+	const nFiles = 5
+	f := func(seed int64) bool {
+		src := genProgram(seed, nFiles)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Logf("seed %d: assemble: %v", seed, err)
+			return false
+		}
+		orig, err := New(DefaultConfig(ModeNoHint), prog, genFS(seed, nFiles))
+		if err != nil {
+			return false
+		}
+		ost, err := orig.Run()
+		if err != nil {
+			t.Logf("seed %d: original run: %v", seed, err)
+			return false
+		}
+
+		tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		for _, mutate := range []func(*Config){
+			func(c *Config) {},
+			func(c *Config) { c.DualProcessor = true },
+			func(c *Config) { c.Disk = TestbedDisk(1) },
+			func(c *Config) { c.Machine.COWRegion = 128 },
+		} {
+			cfg := DefaultConfig(ModeSpeculating)
+			mutate(&cfg)
+			sys, err := New(cfg, tp, genFS(seed, nFiles))
+			if err != nil {
+				return false
+			}
+			sst, err := sys.Run()
+			if err != nil {
+				t.Logf("seed %d: speculating run: %v", seed, err)
+				return false
+			}
+			if sst.ExitCode != ost.ExitCode {
+				t.Logf("seed %d: exit %d != %d\nprogram:\n%s", seed, sst.ExitCode, ost.ExitCode, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

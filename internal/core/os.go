@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+
+	"spechint/internal/fsim"
+	"spechint/internal/sim"
+	"spechint/internal/vm"
+)
+
+// Syscall implements vm.OS for both threads. sliceStart is recorded by the
+// scheduler before each Run slice so handlers can synchronize the virtual
+// clock to the precise cycle of the call (see run.go).
+func (s *System) Syscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysControl {
+	// Advance the clock to the exact moment of the syscall so that disk and
+	// cache interactions happen at the right virtual time. Events due in the
+	// interim (prefetch completions, wakeups) fire first. In dual-processor
+	// mode the speculating thread executes inside a wall window the clock
+	// has already passed; its syscalls then happen "now" (skew is bounded
+	// by the scheduling quantum).
+	if target := s.sliceStart + sim.Time(m.SliceUsed()); target > s.clk.Now() {
+		s.clk.AdvanceTo(target)
+	}
+
+	if t.Mode == vm.Speculative {
+		v := s.specSyscall(m, t, code)
+		if v == vm.SysDone && s.orig.State == vm.Ready {
+			// A completion event woke the original thread mid-slice; the
+			// strict-priority policy preempts speculation immediately.
+			return vm.SysYield
+		}
+		return v
+	}
+	return s.origSyscall(m, t, code)
+}
+
+// busyNow returns the thread's cumulative busy cycles including the current
+// slice, for inter-call gap measurements.
+func (s *System) busyNow(t *vm.Thread) int64 { return t.Cycles + s.mach.SliceUsed() }
+
+// origSyscall services the original (normal) thread.
+func (s *System) origSyscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysControl {
+	switch code {
+	case vm.SysExit:
+		t.ExitCode = t.Regs[vm.R1]
+		return vm.SysHalt
+
+	case vm.SysOpen:
+		path, err := m.ReadCStr(t, t.Regs[vm.R1])
+		if err != nil {
+			t.Err = err
+			return vm.SysFault
+		}
+		t.Regs[vm.R1] = s.origFDs.Open(s.fs, path)
+		return vm.SysDone
+
+	case vm.SysClose:
+		t.Regs[vm.R1] = int64(s.origFDs.Close(t.Regs[vm.R1]))
+		return vm.SysDone
+
+	case vm.SysSeek:
+		t.Regs[vm.R1] = s.origFDs.SeekFD(t.Regs[vm.R1], t.Regs[vm.R2], t.Regs[vm.R3])
+		return vm.SysDone
+
+	case vm.SysFstat:
+		return s.doFstat(m, t, s.origFDs)
+
+	case vm.SysSbrk:
+		t.Regs[vm.R1] = m.Sbrk(t, t.Regs[vm.R1])
+		return vm.SysDone
+
+	case vm.SysWrite:
+		// Write-behind buffering hides write latency (paper §1): writes cost
+		// only the user-to-kernel copy; no disk time on the critical path.
+		n := t.Regs[vm.R3]
+		if n < 0 {
+			t.Regs[vm.R1] = int64(fsim.EINVAL)
+			return vm.SysDone
+		}
+		s.stats.WriteCalls++
+		s.stats.WriteBytes += n
+		t.PendingCycles += n / 8 * s.cfg.CopyPer8B
+		t.Regs[vm.R1] = n
+		return vm.SysDone
+
+	case vm.SysPrint:
+		str, err := m.ReadCStr(t, t.Regs[vm.R1])
+		if err != nil {
+			t.Err = err
+			return vm.SysFault
+		}
+		s.out.WriteString(str)
+		t.PendingCycles += s.cfg.PrintCycles
+		t.Regs[vm.R1] = 0
+		return vm.SysDone
+
+	case vm.SysPrintInt:
+		fmt.Fprintf(&s.out, "%d", t.Regs[vm.R1])
+		t.PendingCycles += s.cfg.PrintCycles
+		t.Regs[vm.R1] = 0
+		return vm.SysDone
+
+	case vm.SysHintFD:
+		if f, _, errno := s.origFDs.File(t.Regs[vm.R1]); errno == fsim.OK {
+			s.tip.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
+			t.Regs[vm.R1] = 0
+		} else {
+			t.Regs[vm.R1] = int64(errno)
+		}
+		return vm.SysDone
+
+	case vm.SysHintFile:
+		path, err := m.ReadCStr(t, t.Regs[vm.R1])
+		if err != nil {
+			t.Err = err
+			return vm.SysFault
+		}
+		if f, ok := s.fs.Lookup(path); ok {
+			s.tip.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
+			t.Regs[vm.R1] = 0
+		} else {
+			t.Regs[vm.R1] = int64(fsim.ENOENT)
+		}
+		return vm.SysDone
+
+	case vm.SysCancelAll:
+		s.tip.CancelAll()
+		t.Regs[vm.R1] = 0
+		return vm.SysDone
+
+	case vm.SysRead:
+		return s.origRead(m, t)
+	}
+	t.Err = fmt.Errorf("core: unknown syscall %d", code)
+	return vm.SysFault
+}
+
+// origRead is the heart of the runtime: the hint-log check, off-track
+// detection and state save all happen here, before the read is issued
+// (paper §3.2.2).
+func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
+	fd, buf, reqLen := t.Regs[vm.R1], t.Regs[vm.R2], t.Regs[vm.R3]
+	file, off, errno := s.origFDs.File(fd)
+	if errno != fsim.OK {
+		t.Regs[vm.R1] = int64(errno)
+		return vm.SysDone
+	}
+	if reqLen < 0 {
+		t.Regs[vm.R1] = int64(fsim.EINVAL)
+		return vm.SysDone
+	}
+	n := file.Size() - off
+	if n < 0 {
+		n = 0
+	}
+	if n > reqLen {
+		n = reqLen
+	}
+
+	s.stats.ReadCalls++
+	now := s.busyNow(t)
+	if s.sawOrigRead {
+		s.stats.ReadGaps = append(s.stats.ReadGaps, now-s.lastOrigReadAt)
+	}
+	s.sawOrigRead = true
+	s.lastOrigReadAt = now
+
+	hinted := false
+	if s.cfg.Mode == ModeSpeculating {
+		t.PendingCycles += s.cfg.HintLogCheckCycles
+		if s.logNext < len(s.hintLog) && s.hintLog[s.logNext] == (logEntry{file.Ino(), off, reqLen}) {
+			// Speculation is, as far as we can tell, on track.
+			s.logNext++
+			hinted = n > 0
+		} else {
+			// Off track (no entry: speculation is behind; mismatch: it
+			// strayed). Save state and raise the restart flag before the
+			// read is issued, so the speculating thread can restart during
+			// the coming stall.
+			t.PendingCycles += s.cfg.RegSaveCycles
+			s.savedRegs = t.Regs
+			s.savedResult = n
+			s.savedPC = t.PC // Run already advanced past the syscall
+			s.savedFD = fd
+			s.savedOff = off
+			s.restartPending = true
+			s.trace(EvOffTrack, "at %s off=%d (log %d/%d)", file.Name, off, s.logNext, len(s.hintLog))
+		}
+	} else if s.cfg.Mode == ModeManual {
+		hinted = n > 0 && s.tip.Covered(file, off, reqLen)
+	}
+	if hinted {
+		s.stats.HintedReads++
+	}
+	s.trace(EvRead, "%s off=%d len=%d hinted=%v", file.Name, off, reqLen, hinted)
+
+	immediate := s.tip.Read(file, off, reqLen, hinted, s.completeRead)
+	if immediate {
+		s.finishRead(t, file, fd, buf, off, n)
+		t.Regs[vm.R1] = n
+		return vm.SysDone
+	}
+	s.pending = &pendingRead{fd: fd, buf: buf, file: file, off: off, n: n}
+	return vm.SysBlock
+}
+
+// completeRead runs when TIP reports all blocks of the pending read valid.
+func (s *System) completeRead() {
+	p := s.pending
+	if p == nil {
+		panic("core: completeRead with no pending read")
+	}
+	s.pending = nil
+	s.trace(EvReadDone, "%s off=%d n=%d", p.file.Name, p.off, p.n)
+	s.finishRead(s.orig, p.file, p.fd, p.buf, p.off, p.n)
+	s.orig.Wake(p.n)
+}
+
+// finishRead copies the data into the user buffer and advances the offset.
+func (s *System) finishRead(t *vm.Thread, file *fsim.File, fd, buf, off, n int64) {
+	if n > 0 {
+		if err := s.mach.WriteMem(t, buf, file.Data[off:off+n]); err != nil {
+			t.Err = err
+			// Surfaces on the thread's next slice as a fatal error via Err;
+			// a bad buffer pointer from the program is a program bug.
+		}
+		t.PendingCycles += n / 8 * s.cfg.CopyPer8B
+	}
+	s.origFDs.Advance(fd, n)
+}
+
+// specSyscall services the speculating thread. The paper's rule: no real
+// system calls except hints, fstat and sbrk. Opens, closes and seeks are
+// emulated in user space against a private descriptor table; writes and
+// output are suppressed; reads become hints.
+func (s *System) specSyscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysControl {
+	switch code {
+	case vm.SysExit:
+		// Speculation ran off the end of the program: park until restart.
+		return vm.SysHalt
+
+	case vm.SysOpen:
+		path, err := m.ReadCStr(t, t.Regs[vm.R1])
+		if err != nil {
+			return vm.SysFault // garbage pointer from stale data
+		}
+		t.Regs[vm.R1] = s.specFDs.Open(s.fs, path)
+		return vm.SysDone
+
+	case vm.SysClose:
+		t.Regs[vm.R1] = int64(s.specFDs.Close(t.Regs[vm.R1]))
+		return vm.SysDone
+
+	case vm.SysSeek:
+		t.Regs[vm.R1] = s.specFDs.SeekFD(t.Regs[vm.R1], t.Regs[vm.R2], t.Regs[vm.R3])
+		return vm.SysDone
+
+	case vm.SysFstat:
+		return s.doFstat(m, t, s.specFDs)
+
+	case vm.SysSbrk:
+		t.Regs[vm.R1] = m.Sbrk(t, t.Regs[vm.R1])
+		return vm.SysDone
+
+	case vm.SysWrite:
+		// Suppressed: pretend success so speculation follows the likely path.
+		t.Regs[vm.R1] = t.Regs[vm.R3]
+		return vm.SysDone
+
+	case vm.SysPrint, vm.SysPrintInt:
+		// Normally removed by the transform; suppressed if present.
+		t.Regs[vm.R1] = 0
+		return vm.SysDone
+
+	case vm.SysHintFD, vm.SysHintFile, vm.SysCancelAll:
+		// Hint calls inside shadow code (a manually-hinted program run
+		// through SpecHint) are suppressed: the speculation machinery owns
+		// the hint stream.
+		t.Regs[vm.R1] = 0
+		return vm.SysDone
+
+	case vm.SysRead:
+		return s.specRead(m, t)
+	}
+	return vm.SysFault
+}
+
+// specRead is how hints are generated: a read encountered during speculation
+// issues the corresponding TIP hint and logs it, returns the value the real
+// read would return (computable from file metadata, which fstat makes
+// legitimately available), and delivers data only if it is already cached —
+// otherwise speculation proceeds with whatever stale bytes the buffer holds,
+// which is exactly how data-dependent speculation strays.
+func (s *System) specRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
+	fd, buf, reqLen := t.Regs[vm.R1], t.Regs[vm.R2], t.Regs[vm.R3]
+	file, off, errno := s.specFDs.File(fd)
+	if errno != fsim.OK {
+		t.Regs[vm.R1] = int64(errno)
+		return vm.SysDone
+	}
+	if reqLen < 0 {
+		t.Regs[vm.R1] = int64(fsim.EINVAL)
+		return vm.SysDone
+	}
+	n := file.Size() - off
+	if n < 0 {
+		n = 0
+	}
+	if n > reqLen {
+		n = reqLen
+	}
+
+	s.hintLog = append(s.hintLog, logEntry{file.Ino(), off, reqLen})
+	if depth := len(s.hintLog) - s.logNext; depth > s.stats.HintLogPeak {
+		s.stats.HintLogPeak = depth
+	}
+
+	if n > 0 {
+		s.tip.HintSeg(file, off, reqLen)
+		s.trace(EvHint, "%s off=%d len=%d", file.Name, off, reqLen)
+		now := s.busyNow(t)
+		if s.sawSpecHint {
+			s.stats.HintGaps = append(s.stats.HintGaps, now-s.lastSpecHintAt)
+		}
+		s.sawSpecHint = true
+		s.lastSpecHintAt = now
+
+		if s.tip.CachedRange(file, off, n) {
+			if err := s.mach.WriteMem(t, buf, file.Data[off:off+n]); err != nil {
+				return vm.SysFault
+			}
+			t.PendingCycles += n / 8 * s.cfg.CopyPer8B
+		}
+	}
+	s.specFDs.Advance(fd, n)
+	t.Regs[vm.R1] = n
+	return vm.SysDone
+}
+
+// doFstat writes {size, ino, blockSize} to the stat buffer at R2.
+func (s *System) doFstat(m *vm.Machine, t *vm.Thread, fds *fsim.FDTable) vm.SysControl {
+	f, _, errno := fds.File(t.Regs[vm.R1])
+	if errno != fsim.OK {
+		t.Regs[vm.R1] = int64(errno)
+		return vm.SysDone
+	}
+	statBuf := make([]byte, 24)
+	putWord(statBuf[0:], f.Size())
+	putWord(statBuf[8:], f.Ino())
+	putWord(statBuf[16:], int64(s.fs.BlockSize()))
+	if err := m.WriteMem(t, t.Regs[vm.R2], statBuf); err != nil {
+		if t.Mode == vm.Speculative {
+			return vm.SysFault
+		}
+		t.Err = err
+		return vm.SysFault
+	}
+	t.Regs[vm.R1] = 0
+	return vm.SysDone
+}
+
+func putWord(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(uint64(v) >> (8 * i))
+	}
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"spechint/internal/sim"
+	"spechint/internal/vm"
+)
+
+// maxSlice bounds a single execution slice when no events are pending, so
+// elapsed-time accounting stays responsive.
+const maxSlice = int64(1) << 40
+
+// smpQuantum bounds a dual-processor scheduling window: the original thread
+// runs a quantum, then the speculating thread gets the same wall window on
+// its own processor. Speculative disk submissions are skewed by at most one
+// quantum (~0.4 ms of testbed time).
+const smpQuantum = 100_000
+
+// Run executes the application to completion and returns the run statistics.
+func (s *System) Run() (*RunStats, error) {
+	for s.orig.State != vm.Halted {
+		if s.orig.Err != nil {
+			return nil, fmt.Errorf("core: original thread failed: %w", s.orig.Err)
+		}
+		if s.cfg.MaxCycles > 0 && int64(s.clk.Now()) > s.cfg.MaxCycles {
+			return nil, fmt.Errorf("core: exceeded MaxCycles %d", s.cfg.MaxCycles)
+		}
+
+		var th *vm.Thread
+		switch {
+		case s.orig.State == vm.Ready:
+			th = s.orig
+		case s.specRunnable():
+			th = s.spec
+		default:
+			// Both threads idle: advance to the next event (a disk
+			// completion that will wake the original thread).
+			if !s.clk.RunNext() {
+				return nil, fmt.Errorf("core: deadlock — original %v, no pending events", s.orig.State)
+			}
+			continue
+		}
+
+		budget := maxSlice
+		if at, ok := s.clk.PeekTime(); ok {
+			budget = int64(at - s.clk.Now())
+			if budget <= 0 {
+				s.clk.RunNext()
+				continue
+			}
+		}
+
+		// Dual-processor mode: while the original thread computes, the
+		// speculating thread runs concurrently on the second processor.
+		parallelSpec := s.cfg.DualProcessor && th == s.orig && s.specRunnable()
+		if parallelSpec && budget > smpQuantum {
+			budget = smpQuantum
+		}
+
+		start := s.clk.Now()
+		if th == s.spec && s.restartWork(start, budget, true) {
+			continue
+		}
+
+		s.sliceStart = start
+		used, stop := s.mach.Run(th, budget)
+		s.clk.AdvanceTo(start + sim.Time(used))
+		if th == s.orig {
+			s.stats.OrigBusy += used
+		} else {
+			s.stats.SpecBusy += used
+		}
+
+		switch stop {
+		case vm.StopError:
+			return nil, fmt.Errorf("core: %s thread error: %w", th.Name, th.Err)
+		case vm.StopFault:
+			// Only the speculating thread faults (normal-mode exceptions
+			// surface as StopError); it stays parked until the next restart.
+			s.trace(EvSignal, "speculation faulted at PC %d", th.PC)
+		case vm.StopBudget, vm.StopBlocked, vm.StopHalted, vm.StopYield:
+			// Return to the scheduling loop.
+		}
+
+		if parallelSpec && used > 0 {
+			s.runSpecWindow(start, used)
+		}
+	}
+	return s.finalize(), nil
+}
+
+// runSpecWindow gives the speculating thread a wall window of `window`
+// cycles on the second processor, concurrent with original-thread execution
+// the clock has already accounted. Restart work and execution both charge
+// against the window.
+func (s *System) runSpecWindow(start sim.Time, window int64) {
+	for window > 0 && s.specRunnable() {
+		if s.restartPending && s.restartRemaining == 0 {
+			if !s.beginRestart(s.clk.Now()) {
+				return // throttled
+			}
+		}
+		if s.restartRemaining > 0 {
+			work := s.restartRemaining
+			if work > window {
+				work = window
+			}
+			s.stats.SpecBusy += work
+			s.restartRemaining -= work
+			window -= work
+			if s.restartRemaining == 0 {
+				s.finishRestart()
+			}
+			continue
+		}
+		if s.spec.State != vm.Ready {
+			return
+		}
+		s.sliceStart = s.clk.Now() // syscalls happen "now"; see os.go
+		used, _ := s.mach.Run(s.spec, window)
+		s.stats.SpecBusy += used
+		window -= used
+		if used == 0 {
+			return
+		}
+	}
+}
+
+// specRunnable reports whether the speculating thread can use the CPU now.
+func (s *System) specRunnable() bool {
+	if s.cfg.Mode != ModeSpeculating {
+		return false
+	}
+	if s.clk.Now() < s.disabledUntil {
+		return false // §5 cancel throttle in effect
+	}
+	if s.restartPending || s.restartRemaining > 0 {
+		return true // restart work pending
+	}
+	return s.spec.State == vm.Ready
+}
+
+// restartWork performs (a slice of) the restart protocol: cancel outstanding
+// hints, clear the copy-on-write map, copy the original thread's stack, load
+// its saved registers, and jump to the shadow instruction after the read it
+// blocked on (paper §3.2.2). The work is charged against stall cycles; it
+// returns true if it consumed this scheduling turn. advanceClock is false in
+// dual-processor mode, where the work charges a CPU window instead of wall
+// time.
+func (s *System) restartWork(start sim.Time, budget int64, advanceClock bool) bool {
+	if s.restartRemaining == 0 {
+		if !s.restartPending {
+			return false
+		}
+		if !s.beginRestart(start) {
+			return true // throttled: this turn is consumed
+		}
+	}
+
+	work := s.restartRemaining
+	if work > budget {
+		work = budget
+	}
+	if advanceClock {
+		s.clk.AdvanceTo(start + sim.Time(work))
+	}
+	s.stats.SpecBusy += work
+	s.restartRemaining -= work
+	if s.restartRemaining == 0 {
+		s.finishRestart()
+	}
+	return true
+}
+
+// beginRestart cleans up the current speculation (CANCEL_ALL, hint-log
+// truncation, COW and arena reset) and applies the throttles. It returns
+// false if a throttle disabled speculation instead.
+func (s *System) beginRestart(start sim.Time) bool {
+	s.restartPending = false
+	s.stats.Restarts++
+	s.tip.CancelAll()
+	s.hintLog = s.hintLog[:s.logNext]
+	s.spec.Cow.Reset()
+	s.mach.ResetSpecBrk()
+
+	// §5 ad-hoc throttle: after CancelThrottle cancellations, disable
+	// speculation for a while instead of restarting. The count resets to -1
+	// so the restart that re-enables speculation after the window gets a
+	// free pass — otherwise a threshold of 1 would disable speculation
+	// permanently.
+	s.cancelsRecent++
+	if s.cfg.CancelThrottle > 0 && s.cancelsRecent >= s.cfg.CancelThrottle {
+		s.cancelsRecent = -1
+		s.throttle(start, sim.Time(s.cfg.CancelThrottleCycles))
+		return false
+	}
+
+	// §5 generic limiter: gate restarts on TIP's recent hint accuracy,
+	// with exponential backoff while it stays poor.
+	if s.cfg.AdaptiveThrottle {
+		threshold := s.cfg.AdaptiveThreshold
+		if threshold == 0 {
+			threshold = 0.2
+		}
+		if s.tip.Accuracy() < threshold {
+			if s.backoffCycles == 0 {
+				s.backoffCycles = s.cfg.AdaptiveBackoff
+				if s.backoffCycles == 0 {
+					s.backoffCycles = 50_000_000
+				}
+			} else if s.backoffCycles < 1<<32 {
+				s.backoffCycles *= 2
+			}
+			s.throttle(start, sim.Time(s.backoffCycles))
+			return false
+		}
+		s.backoffCycles = 0 // accuracy recovered: reset the backoff
+	}
+
+	liveStack := s.cfg.Machine.MemSize - s.savedRegs[vm.SP]
+	s.restartRemaining = s.cfg.RestartBaseCycles + liveStack/8*s.cfg.CopyPer8B
+	if s.restartRemaining <= 0 {
+		s.restartRemaining = 1
+	}
+	return true
+}
+
+// throttle parks speculation until the window passes, re-armed with the
+// freshest saved state.
+func (s *System) throttle(start, window sim.Time) {
+	s.disabledUntil = start + window
+	s.spec.State = vm.Faulted
+	s.restartPending = true
+	s.trace(EvThrottle, "speculation disabled for %d cycles", window)
+}
+
+// finishRestart installs the saved original-thread state into the
+// speculating thread and resumes it in shadow code.
+func (s *System) finishRestart() {
+	specSP := s.mach.CopyStackForSpec(s.savedRegs[vm.SP])
+	s.spec.Regs = s.savedRegs
+	s.spec.Regs[vm.SP] = specSP
+	s.spec.Regs[vm.R1] = s.savedResult // the read's return value
+	s.spec.PC = s.savedPC + s.prog.ShadowBase
+	s.spec.PendingCycles = 0
+	// The descriptor table is part of the original thread's state:
+	// speculation starts from a private copy so its opens/closes/seeks
+	// stay invisible to normal execution. Speculation resumes *after*
+	// the read the original thread blocked on, so if that read has not
+	// yet advanced the shared table's offset, advance the copy.
+	s.specFDs = s.origFDs.Clone()
+	if _, off, errno := s.specFDs.File(s.savedFD); errno == 0 && off == s.savedOff {
+		s.specFDs.Advance(s.savedFD, s.savedResult)
+	}
+	s.spec.State = vm.Ready
+	s.trace(EvRestart, "resume at shadow PC %d, result %d", s.spec.PC, s.savedResult)
+}
+
+// finalize closes out accounting and assembles the run statistics.
+func (s *System) finalize() *RunStats {
+	s.tip.FinishRun()
+	st := &s.stats
+	st.Elapsed = s.clk.Now()
+	st.ExitCode = s.orig.ExitCode
+	st.OrigInstrs = s.orig.Instrs
+	if s.spec != nil {
+		st.SpecInstrs = s.spec.Instrs
+		st.SpecSignals = s.spec.Signals
+	}
+	st.Tip = s.tip.Stats()
+	st.Cache = s.tip.Cache().Stats()
+	st.Disk = s.arr.Stats()
+	st.Pages = s.mach.Pages()
+	st.Output = s.out.String()
+
+	st.FootprintBytes = st.Pages.Touched*s.cfg.Machine.PageBytes + s.prog.TextBytes()
+	if s.spec != nil {
+		st.FootprintBytes += int64(s.spec.Cow.PeakRegions() * s.spec.Cow.RegionSize())
+	}
+	return st
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"spechint/internal/sim"
+)
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	// EvRead is a read call by the original thread.
+	EvRead EventKind = iota
+	// EvReadDone is the completion of a blocking read.
+	EvReadDone
+	// EvHint is a hint issued by the speculating thread.
+	EvHint
+	// EvOffTrack is an off-track detection by the original thread.
+	EvOffTrack
+	// EvRestart is a completed speculation restart.
+	EvRestart
+	// EvThrottle is a speculation disable by a §5 limiter.
+	EvThrottle
+	// EvSignal is a speculative exception.
+	EvSignal
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvRead:
+		return "read"
+	case EvReadDone:
+		return "read-done"
+	case EvHint:
+		return "hint"
+	case EvOffTrack:
+		return "off-track"
+	case EvRestart:
+		return "restart"
+	case EvThrottle:
+		return "throttle"
+	case EvSignal:
+		return "signal"
+	}
+	return "event"
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At     sim.Time
+	Kind   EventKind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12d  %-10s %s", e.At, e.Kind, e.Detail)
+}
+
+// maxTraceEvents bounds the trace so a long run cannot exhaust memory.
+const maxTraceEvents = 100_000
+
+// trace appends an event if tracing is enabled.
+func (s *System) trace(kind EventKind, format string, args ...any) {
+	if !s.cfg.TraceEvents || len(s.events) >= maxTraceEvents {
+		return
+	}
+	s.events = append(s.events, Event{
+		At:     s.clk.Now(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Events returns the recorded timeline (empty unless Config.TraceEvents).
+func (s *System) Events() []Event { return s.events }
+
+// FormatTrace renders up to limit events, eliding the middle of long traces.
+func FormatTrace(events []Event, limit int) string {
+	if limit <= 0 || limit > len(events) {
+		limit = len(events)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s  %-10s %s\n", "cycle", "event", "detail")
+	if len(events) <= limit {
+		for _, e := range events {
+			b.WriteString(e.String())
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	head := limit / 2
+	tail := limit - head
+	for _, e := range events[:head] {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "    ... %d events elided ...\n", len(events)-limit)
+	for _, e := range events[len(events)-tail:] {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spechint/internal/asm"
+	"spechint/internal/spechint"
+)
+
+func TestTraceRecordsTimeline(t *testing.T) {
+	cfg := DefaultConfig(ModeSpeculating)
+	cfg.TraceEvents = true
+	fs, names := buildFS(t, 6, 6000)
+	prog, err := asm.Assemble(seqReaderSrc(names, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(cfg, tp, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := sys.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+		if e.Kind.String() == "event" {
+			t.Fatalf("unnamed event kind %d", e.Kind)
+		}
+	}
+	if kinds[EvRead] == 0 || kinds[EvHint] == 0 || kinds[EvRestart] == 0 || kinds[EvOffTrack] == 0 {
+		t.Fatalf("missing kinds: %v", kinds)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("trace not time-ordered")
+		}
+	}
+
+	out := FormatTrace(events, 10)
+	if !strings.Contains(out, "read") || !strings.Contains(out, "elided") {
+		t.Fatalf("FormatTrace output:\n%s", out)
+	}
+	full := FormatTrace(events[:3], 0)
+	if strings.Contains(full, "elided") {
+		t.Fatal("short trace elided")
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	fs, names := buildFS(t, 4, 4000)
+	prog, err := asm.Assemble(seqReaderSrc(names, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(DefaultConfig(ModeSpeculating), tp, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Events()) != 0 {
+		t.Fatal("events recorded with tracing disabled")
+	}
+}

@@ -1,0 +1,356 @@
+// Package disk models the storage substrate of the SpecHint testbed: an
+// array of disks (the paper used four HP C2247s, 15 ms average access)
+// behind a striping pseudodevice with a 64 KB striping unit.
+//
+// Each disk services one request at a time, non-preemptively, from a
+// two-priority queue: demand reads (the application is stalled on them) are
+// served before prefetch reads, but an in-service prefetch is never aborted —
+// this is what lets erroneous prefetches delay demand requests, the effect
+// behind Gnuld's single-disk degradation in the paper.
+//
+// The model includes the disks' track-buffer read-ahead (physically
+// sequential accesses bypass positioning) and the paper's Figure 6 apparatus:
+// a completion-notification delay factor used to simulate a widening gap
+// between processor and disk speeds, combined with a limit on outstanding
+// prefetch requests per disk.
+package disk
+
+import (
+	"fmt"
+
+	"spechint/internal/sim"
+)
+
+// Priority classifies a request for queueing.
+type Priority int
+
+const (
+	// Demand requests block the application; they queue ahead of prefetches.
+	Demand Priority = iota
+	// Prefetch requests are speculative; they are served only when no
+	// demand request is waiting.
+	Prefetch
+)
+
+func (p Priority) String() string {
+	if p == Demand {
+		return "demand"
+	}
+	return "prefetch"
+}
+
+// Config describes the array geometry and timing. All times are in CPU
+// cycles so that a single virtual clock drives the whole simulation.
+type Config struct {
+	NumDisks   int // disks in the array
+	BlockSize  int // bytes per file-system block
+	StripeUnit int // bytes per striping unit (must be a multiple of BlockSize)
+
+	PositionCycles sim.Time // average positioning (seek+rotation) cost per random access
+	TransferCycles sim.Time // media transfer cost per block
+	TrackBufCycles sim.Time // transfer cost per block when served from the track buffer
+
+	// TrackBufBlocks is how many physically consecutive blocks past the last
+	// access the drive's internal read-ahead covers. Zero disables the
+	// track-buffer model.
+	TrackBufBlocks int
+
+	// DelayFactor simulates a widening processor/disk speed gap (Figure 6):
+	// completion notification is delayed to DelayFactor times the service
+	// time. 1 means no delay. The benchmark harness divides measured elapsed
+	// times by this factor, as the paper did.
+	DelayFactor int
+
+	// MaxPrefetchPerDisk bounds outstanding (queued + in-service) prefetch
+	// requests per disk; Submit rejects prefetches over the bound. Zero means
+	// unlimited. The paper set this to 1 for the Figure 6 experiments.
+	MaxPrefetchPerDisk int
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.NumDisks <= 0:
+		return fmt.Errorf("disk: NumDisks = %d, want > 0", c.NumDisks)
+	case c.BlockSize <= 0:
+		return fmt.Errorf("disk: BlockSize = %d, want > 0", c.BlockSize)
+	case c.StripeUnit <= 0 || c.StripeUnit%c.BlockSize != 0:
+		return fmt.Errorf("disk: StripeUnit = %d, want positive multiple of BlockSize %d", c.StripeUnit, c.BlockSize)
+	case c.DelayFactor < 1:
+		return fmt.Errorf("disk: DelayFactor = %d, want >= 1", c.DelayFactor)
+	case c.PositionCycles < 0 || c.TransferCycles <= 0 || c.TrackBufCycles < 0:
+		return fmt.Errorf("disk: negative or zero timing parameters")
+	}
+	return nil
+}
+
+// Request is one block read submitted to the array.
+type Request struct {
+	Disk      int      // target disk, from the striping map
+	PhysBlock int64    // physical block number on that disk
+	Pri       Priority // demand or prefetch
+	Done      func()   // invoked (once) when the host is notified of completion
+
+	next *Request // intrusive FIFO link
+}
+
+// Stats aggregates array activity for the evaluation tables.
+type Stats struct {
+	DemandReqs    int64
+	PrefetchReqs  int64
+	RejectedReqs  int64 // prefetches rejected by MaxPrefetchPerDisk
+	TrackBufHits  int64
+	BusyCycles    sim.Time // summed over disks
+	DemandWait    sim.Time // queueing delay experienced by demand requests
+	DemandService sim.Time // service time of demand requests
+}
+
+// Array is the striped disk array.
+type Array struct {
+	clk   *sim.Queue
+	cfg   Config
+	disks []diskState
+	stats Stats
+
+	// OnIdle, if non-nil, is invoked whenever a disk finishes a request and
+	// has no further queued work. TIP uses it to re-try prefetches rejected
+	// by the outstanding-prefetch bound.
+	OnIdle func(disk int)
+}
+
+type diskState struct {
+	busy        bool
+	demandHead  *Request
+	demandTail  *Request
+	prefHead    *Request
+	prefTail    *Request
+	prefCount   int   // queued + in-service prefetches
+	nextSeqPhys int64 // first physical block covered by the track buffer
+	seqLimit    int64 // one past the last block covered by the track buffer
+	arrival     map[*Request]sim.Time
+}
+
+// New constructs an array on the given clock.
+func New(clk *sim.Queue, cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{clk: clk, cfg: cfg, disks: make([]diskState, cfg.NumDisks)}
+	for i := range a.disks {
+		a.disks[i].nextSeqPhys = -1
+		a.disks[i].arrival = make(map[*Request]sim.Time)
+	}
+	return a, nil
+}
+
+// Config returns the array configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (a *Array) Stats() Stats { return a.stats }
+
+// BlocksPerStripeUnit returns the number of file-system blocks per striping unit.
+func (a *Array) BlocksPerStripeUnit() int64 {
+	return int64(a.cfg.StripeUnit / a.cfg.BlockSize)
+}
+
+// Map implements the striping pseudodevice: it maps a logical block number
+// (in the file system's global block space) to a (disk, physical block) pair,
+// striping round-robin in StripeUnit-sized runs.
+func (a *Array) Map(logical int64) (disk int, phys int64) {
+	unit := a.BlocksPerStripeUnit()
+	stripe := logical / unit
+	within := logical % unit
+	disk = int(stripe % int64(a.cfg.NumDisks))
+	row := stripe / int64(a.cfg.NumDisks)
+	return disk, row*unit + within
+}
+
+// Submit enqueues a request. It returns false if the request is a prefetch
+// and the per-disk outstanding-prefetch bound is reached; the caller may
+// retry later (see OnIdle).
+func (a *Array) Submit(r *Request) bool {
+	if r.Disk < 0 || r.Disk >= len(a.disks) {
+		panic(fmt.Sprintf("disk: request for disk %d of %d", r.Disk, len(a.disks)))
+	}
+	d := &a.disks[r.Disk]
+	if r.Pri == Prefetch {
+		if a.cfg.MaxPrefetchPerDisk > 0 && d.prefCount >= a.cfg.MaxPrefetchPerDisk {
+			a.stats.RejectedReqs++
+			return false
+		}
+		a.stats.PrefetchReqs++
+		d.prefCount++
+		if d.prefTail == nil {
+			d.prefHead, d.prefTail = r, r
+		} else {
+			d.prefTail.next = r
+			d.prefTail = r
+		}
+	} else {
+		a.stats.DemandReqs++
+		if d.demandTail == nil {
+			d.demandHead, d.demandTail = r, r
+		} else {
+			d.demandTail.next = r
+			d.demandTail = r
+		}
+	}
+	d.arrival[r] = a.clk.Now()
+	a.startIfIdle(r.Disk)
+	return true
+}
+
+func (a *Array) startIfIdle(disk int) {
+	d := &a.disks[disk]
+	if d.busy {
+		return
+	}
+	r := a.pop(d)
+	if r == nil {
+		return
+	}
+	d.busy = true
+
+	service, trackHit := a.serviceTime(d, r)
+	if trackHit {
+		a.stats.TrackBufHits++
+	}
+	a.stats.BusyCycles += service
+	if r.Pri == Demand {
+		wait := a.clk.Now() - d.arrival[r]
+		a.stats.DemandWait += wait
+		a.stats.DemandService += service
+	}
+	delete(d.arrival, r)
+
+	// Update the track-buffer window: the drive reads ahead physically.
+	d.nextSeqPhys = r.PhysBlock + 1
+	d.seqLimit = r.PhysBlock + 1 + int64(a.cfg.TrackBufBlocks)
+
+	notify := service * sim.Time(a.cfg.DelayFactor)
+	a.clk.After(notify, func() {
+		d.busy = false
+		if r.Pri == Prefetch {
+			d.prefCount--
+		}
+		if r.Done != nil {
+			r.Done()
+		}
+		a.startIfIdle(disk)
+		if a.OnIdle != nil && !d.busy {
+			a.OnIdle(disk)
+		}
+	})
+}
+
+// serviceTime computes the media service time for r on d, consulting the
+// track buffer; it is pure (the queue scheduler also calls it to estimate
+// costs). A request within the read-ahead window avoids positioning but
+// still pays to stream past any skipped blocks, so a near-sequential skip
+// is cheaper than a seek yet dearer than a contiguous read.
+func (a *Array) serviceTime(d *diskState, r *Request) (sim.Time, bool) {
+	if a.cfg.TrackBufBlocks > 0 && d.nextSeqPhys >= 0 &&
+		r.PhysBlock >= d.nextSeqPhys-1 && r.PhysBlock < d.seqLimit {
+		dist := r.PhysBlock - (d.nextSeqPhys - 1) // blocks streamed through
+		if dist < 1 {
+			dist = 1 // re-read of the buffered block
+		}
+		return a.cfg.TrackBufCycles * sim.Time(dist), true
+	}
+	return a.cfg.PositionCycles + a.cfg.TransferCycles, false
+}
+
+// pop removes the next request to serve: demand requests first (FIFO), then
+// the cheapest queued prefetch. Real drivers sort their queues (C-SCAN /
+// shortest positioning time first); without this, prefetches interleaved
+// with a sequential demand stream destroy the drive's track-buffer locality.
+func (a *Array) pop(d *diskState) *Request {
+	if d.demandHead != nil {
+		r := d.demandHead
+		d.demandHead = r.next
+		if d.demandHead == nil {
+			d.demandTail = nil
+		}
+		r.next = nil
+		return r
+	}
+	if d.prefHead == nil {
+		return nil
+	}
+	// Select the prefetch with the lowest estimated service time from the
+	// current head position; ties broken by ascending physical distance.
+	var best, bestPrev *Request
+	var prev *Request
+	bestCost := sim.Time(1<<62 - 1)
+	var bestDist int64 = 1<<62 - 1
+	for r := d.prefHead; r != nil; prev, r = r, r.next {
+		cost, _ := a.serviceTime(d, r)
+		dist := r.PhysBlock - d.nextSeqPhys
+		if dist < 0 {
+			dist = -dist
+		}
+		if cost < bestCost || (cost == bestCost && dist < bestDist) {
+			best, bestPrev, bestCost, bestDist = r, prev, cost, dist
+		}
+	}
+	if bestPrev == nil {
+		d.prefHead = best.next
+	} else {
+		bestPrev.next = best.next
+	}
+	if d.prefTail == best {
+		d.prefTail = bestPrev
+	}
+	best.next = nil
+	return best
+}
+
+// Promote moves a queued prefetch request to the demand queue: a demand
+// read is waiting on its block, so it inherits demand priority. If the
+// request is already in service or already completed, Promote is a no-op.
+// The request keeps its prefetch identity for depth accounting.
+func (a *Array) Promote(r *Request) {
+	if r.Disk < 0 || r.Disk >= len(a.disks) {
+		return
+	}
+	d := &a.disks[r.Disk]
+	var prev *Request
+	for q := d.prefHead; q != nil; prev, q = q, q.next {
+		if q != r {
+			continue
+		}
+		if prev == nil {
+			d.prefHead = r.next
+		} else {
+			prev.next = r.next
+		}
+		if d.prefTail == r {
+			d.prefTail = prev
+		}
+		r.next = nil
+		if d.demandTail == nil {
+			d.demandHead, d.demandTail = r, r
+		} else {
+			d.demandTail.next = r
+			d.demandTail = r
+		}
+		return
+	}
+}
+
+// QueueDepth returns the number of requests queued (not in service) at disk i.
+func (a *Array) QueueDepth(i int) int {
+	d := &a.disks[i]
+	n := 0
+	for r := d.demandHead; r != nil; r = r.next {
+		n++
+	}
+	for r := d.prefHead; r != nil; r = r.next {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether disk i is currently servicing a request.
+func (a *Array) Busy(i int) bool { return a.disks[i].busy }

@@ -1,0 +1,285 @@
+package fsim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndLookup(t *testing.T) {
+	fs := New(8192)
+	data := []byte("hello world")
+	f, err := fs.Create("a.txt", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", f.Size(), len(data))
+	}
+	got, ok := fs.Lookup("a.txt")
+	if !ok || got != f {
+		t.Fatal("Lookup failed to find created file")
+	}
+	if _, ok := fs.Lookup("missing"); ok {
+		t.Fatal("Lookup found missing file")
+	}
+	if !bytes.Equal(got.Data, data) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	fs := New(8192)
+	fs.MustCreate("x", nil)
+	if _, err := fs.Create("x", nil); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	if _, err := fs.Create("", nil); err == nil {
+		t.Fatal("empty-name Create succeeded")
+	}
+}
+
+func TestBlockAllocationContiguous(t *testing.T) {
+	fs := New(100)
+	a := fs.MustCreate("a", make([]byte, 250)) // 3 blocks
+	b := fs.MustCreate("b", make([]byte, 100)) // 1 block
+	c := fs.MustCreate("c", make([]byte, 1))   // 1 block
+	if a.Start != 0 || a.NBlocks() != 3 {
+		t.Fatalf("a: start %d nblocks %d", a.Start, a.NBlocks())
+	}
+	if b.Start != 3 || b.NBlocks() != 1 {
+		t.Fatalf("b: start %d nblocks %d", b.Start, b.NBlocks())
+	}
+	if c.Start != 4 {
+		t.Fatalf("c: start %d", c.Start)
+	}
+	if fs.TotalBlocks() != 5 {
+		t.Fatalf("TotalBlocks = %d, want 5", fs.TotalBlocks())
+	}
+}
+
+func TestEmptyFileStillConsumesSlot(t *testing.T) {
+	fs := New(100)
+	e := fs.MustCreate("empty", nil)
+	f := fs.MustCreate("next", make([]byte, 1))
+	if e.Start == f.Start {
+		t.Fatal("empty file shares Start with next file")
+	}
+}
+
+func TestLogicalBlock(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("pad", make([]byte, 550)) // 6 blocks
+	f := fs.MustCreate("f", make([]byte, 250))
+	if lb := f.LogicalBlock(0); lb != 6 {
+		t.Fatalf("LogicalBlock(0) = %d, want 6", lb)
+	}
+	if lb := f.LogicalBlock(2); lb != 8 {
+		t.Fatalf("LogicalBlock(2) = %d, want 8", lb)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range LogicalBlock did not panic")
+		}
+	}()
+	f.LogicalBlock(3)
+}
+
+func TestInoUniqueAndResolvable(t *testing.T) {
+	fs := New(100)
+	a := fs.MustCreate("a", nil)
+	b := fs.MustCreate("b", nil)
+	if a.Ino() == b.Ino() {
+		t.Fatal("duplicate inode numbers")
+	}
+	got, ok := fs.ByIno(b.Ino())
+	if !ok || got != b {
+		t.Fatal("ByIno failed")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	fs := New(100)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		fs.MustCreate(n, nil)
+	}
+	names := fs.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestFDTableOpenCloseLowestFree(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("f", make([]byte, 10))
+	tb := NewFDTable()
+	fd1 := tb.Open(fs, "f")
+	fd2 := tb.Open(fs, "f")
+	if fd1 != 3 || fd2 != 4 {
+		t.Fatalf("fds = %d,%d want 3,4", fd1, fd2)
+	}
+	if e := tb.Close(fd1); e != OK {
+		t.Fatalf("Close: %v", e)
+	}
+	fd3 := tb.Open(fs, "f")
+	if fd3 != 3 {
+		t.Fatalf("reopened fd = %d, want lowest-free 3", fd3)
+	}
+	if fd := tb.Open(fs, "missing"); Errno(fd) != ENOENT {
+		t.Fatalf("open missing = %d, want ENOENT", fd)
+	}
+	if e := tb.Close(99); e != EBADF {
+		t.Fatalf("close bad fd = %v, want EBADF", e)
+	}
+}
+
+func TestFDTableExhaustion(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("f", nil)
+	tb := NewFDTable()
+	for i := 3; i < MaxFDs; i++ {
+		if fd := tb.Open(fs, "f"); fd < 0 {
+			t.Fatalf("open %d failed early: %d", i, fd)
+		}
+	}
+	if fd := tb.Open(fs, "f"); Errno(fd) != EMFILE {
+		t.Fatalf("over-limit open = %d, want EMFILE", fd)
+	}
+}
+
+func TestSeekWhence(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("f", make([]byte, 100))
+	tb := NewFDTable()
+	fd := tb.Open(fs, "f")
+	if n := tb.SeekFD(fd, 10, 0); n != 10 {
+		t.Fatalf("SEEK_SET = %d", n)
+	}
+	if n := tb.SeekFD(fd, 5, 1); n != 15 {
+		t.Fatalf("SEEK_CUR = %d", n)
+	}
+	if n := tb.SeekFD(fd, -20, 2); n != 80 {
+		t.Fatalf("SEEK_END = %d", n)
+	}
+	if n := tb.SeekFD(fd, -200, 1); Errno(n) != EINVAL {
+		t.Fatalf("negative seek = %d, want EINVAL", n)
+	}
+	if n := tb.SeekFD(fd, 0, 7); Errno(n) != EINVAL {
+		t.Fatalf("bad whence = %d, want EINVAL", n)
+	}
+	if n := tb.SeekFD(99, 0, 0); Errno(n) != EBADF {
+		t.Fatalf("seek bad fd = %d, want EBADF", n)
+	}
+}
+
+func TestAdvanceAndFile(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("f", make([]byte, 100))
+	tb := NewFDTable()
+	fd := tb.Open(fs, "f")
+	tb.Advance(fd, 30)
+	_, off, e := tb.File(fd)
+	if e != OK || off != 30 {
+		t.Fatalf("offset = %d (%v), want 30", off, e)
+	}
+	if _, _, e := tb.File(42); e != EBADF {
+		t.Fatalf("File(42) errno = %v, want EBADF", e)
+	}
+	tb.Advance(42, 10) // no-op, must not panic
+}
+
+func TestCloneIsolation(t *testing.T) {
+	fs := New(100)
+	fs.MustCreate("f", make([]byte, 100))
+	orig := NewFDTable()
+	fd := orig.Open(fs, "f")
+	orig.Advance(fd, 10)
+
+	clone := orig.Clone()
+	clone.Advance(fd, 50)
+	cfd := clone.Open(fs, "f") // new fd only in clone
+
+	_, off, _ := orig.File(fd)
+	if off != 10 {
+		t.Fatalf("original offset mutated: %d", off)
+	}
+	if _, _, e := orig.File(cfd); e != EBADF {
+		t.Fatal("clone's open leaked into original")
+	}
+	_, coff, _ := clone.File(fd)
+	if coff != 60 {
+		t.Fatalf("clone offset = %d, want 60", coff)
+	}
+}
+
+func TestErrnoStrings(t *testing.T) {
+	for _, e := range []Errno{ENOENT, EBADF, EINVAL, EMFILE, ESPIPE, ENOSYS, EACCESS, Errno(-99)} {
+		if e.Error() == "" {
+			t.Fatalf("empty error string for %d", e)
+		}
+	}
+}
+
+// Property: files never overlap in logical block space.
+func TestPropertyNoBlockOverlap(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fs := New(512)
+		type span struct{ start, end int64 }
+		var spans []span
+		for i, s := range sizes {
+			file := fs.MustCreate(fmt.Sprintf("f%d", i), make([]byte, int(s)))
+			end := file.Start + file.NBlocks()
+			if end == file.Start {
+				end++
+			}
+			spans = append(spans, span{file.Start, end})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.start < b.end && b.start < a.end {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: descriptor numbers in a table are always unique and >= 3.
+func TestPropertyFDUniqueness(t *testing.T) {
+	f := func(ops []bool) bool {
+		fs := New(512)
+		fs.MustCreate("f", make([]byte, 10))
+		tb := NewFDTable()
+		var open []int64
+		for _, doOpen := range ops {
+			if doOpen || len(open) == 0 {
+				fd := tb.Open(fs, "f")
+				if fd < 3 {
+					return false
+				}
+				for _, o := range open {
+					if o == fd {
+						return false
+					}
+				}
+				open = append(open, fd)
+			} else {
+				fd := open[len(open)-1]
+				open = open[:len(open)-1]
+				if tb.Close(fd) != OK {
+					return false
+				}
+			}
+		}
+		return tb.Len() == len(open)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

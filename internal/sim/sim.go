@@ -1,0 +1,158 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underlies the SpecHint reproduction: a virtual clock measured in CPU
+// cycles and an event queue with stable FIFO ordering among simultaneous
+// events.
+//
+// All timing in the system — disk service, thread scheduling, prefetch
+// completion — is expressed as events on a single Queue, which makes every
+// experiment reproducible cycle-for-cycle.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, measured in CPU cycles.
+type Time int64
+
+// Event is a scheduled callback. Events are ordered by time; events scheduled
+// for the same time run in the order they were scheduled.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 when not queued
+	fn    func()
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Queue is a virtual clock plus a pending-event heap. The zero value is not
+// ready to use; call NewQueue.
+type Queue struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// NewQueue returns an empty event queue with the clock at zero.
+func NewQueue() *Queue {
+	return &Queue{}
+}
+
+// Now returns the current virtual time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Schedule registers fn to run at absolute time at. Scheduling in the past
+// panics: it indicates a simulation bug, not a recoverable condition.
+func (q *Queue) Schedule(at Time, fn func()) *Event {
+	if at < q.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, q.now))
+	}
+	q.seq++
+	e := &Event{at: at, seq: q.seq, fn: fn}
+	heap.Push(&q.events, e)
+	return e
+}
+
+// After schedules fn to run delay cycles from now.
+func (q *Queue) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return q.Schedule(q.now+delay, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already ran or was
+// already cancelled is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.events, e.index)
+	e.index = -1
+}
+
+// PeekTime returns the time of the earliest pending event.
+func (q *Queue) PeekTime() (Time, bool) {
+	if len(q.events) == 0 {
+		return 0, false
+	}
+	return q.events[0].at, true
+}
+
+// RunNext pops and runs the earliest pending event, advancing the clock to
+// its time. It reports whether an event ran.
+func (q *Queue) RunNext() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.events).(*Event)
+	e.index = -1
+	q.now = e.at
+	e.fn()
+	return true
+}
+
+// AdvanceTo moves the clock forward to t, running every event due at or
+// before t in order. Moving backwards panics.
+func (q *Queue) AdvanceTo(t Time) {
+	if t < q.now {
+		panic(fmt.Sprintf("sim: advance to %d before now %d", t, q.now))
+	}
+	for len(q.events) > 0 && q.events[0].at <= t {
+		q.RunNext()
+	}
+	q.now = t
+}
+
+// Advance moves the clock forward by delta cycles, running due events.
+func (q *Queue) Advance(delta Time) {
+	if delta < 0 {
+		panic(fmt.Sprintf("sim: negative advance %d", delta))
+	}
+	q.AdvanceTo(q.now + delta)
+}
+
+// Drain runs events until none remain, returning the number run. It is
+// mainly useful in tests and when flushing a simulation to completion.
+func (q *Queue) Drain() int {
+	n := 0
+	for q.RunNext() {
+		n++
+	}
+	return n
+}
+
+// eventHeap orders by (at, seq) so simultaneous events run FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

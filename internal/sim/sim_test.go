@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.Schedule(30, func() { got = append(got, 3) })
+	q.Schedule(10, func() { got = append(got, 1) })
+	q.Schedule(20, func() { got = append(got, 2) })
+	q.Drain()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run order = %v, want %v", got, want)
+		}
+	}
+	if q.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", q.Now())
+	}
+}
+
+func TestSimultaneousEventsRunFIFO(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func() { got = append(got, i) })
+	}
+	q.Drain()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("FIFO violated: got %v", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(100, func() {})
+	q.RunNext()
+	fired := Time(-1)
+	q.After(50, func() { fired = q.Now() })
+	q.Drain()
+	if fired != 150 {
+		t.Fatalf("After(50) fired at %d, want 150", fired)
+	}
+}
+
+func TestCancelPreventsRun(t *testing.T) {
+	q := NewQueue()
+	ran := false
+	e := q.Schedule(10, func() { ran = true })
+	q.Cancel(e)
+	q.Drain()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double cancel and cancel-after-run must be no-ops.
+	q.Cancel(e)
+	e2 := q.Schedule(q.Now()+1, func() {})
+	q.Drain()
+	q.Cancel(e2)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, q.Schedule(Time(i), func() { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		q.Cancel(events[i])
+	}
+	q.Drain()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d ran", v)
+		}
+	}
+	if len(got) != 13 {
+		t.Fatalf("len(got) = %d, want 13", len(got))
+	}
+}
+
+func TestAdvanceToRunsDueEventsOnly(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.Schedule(10, func() { got = append(got, 10) })
+	q.Schedule(20, func() { got = append(got, 20) })
+	q.Schedule(30, func() { got = append(got, 30) })
+	q.AdvanceTo(20)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("got %v, want [10 20]", got)
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", q.Now())
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", q.Len())
+	}
+}
+
+func TestEventScheduledDuringRun(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.Schedule(10, func() {
+		got = append(got, 1)
+		q.After(5, func() { got = append(got, 2) })
+	})
+	q.Drain()
+	if len(got) != 2 || got[1] != 2 || q.Now() != 15 {
+		t.Fatalf("got %v at %d, want [1 2] at 15", got, q.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(10, func() {})
+	q.Drain()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.Schedule(5, func() {})
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	q := NewQueue()
+	q.AdvanceTo(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("advancing backwards did not panic")
+		}
+	}()
+	q.AdvanceTo(50)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	q := NewQueue()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	q.After(-1, func() {})
+}
+
+func TestPeekTime(t *testing.T) {
+	q := NewQueue()
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue reported ok")
+	}
+	q.Schedule(42, func() {})
+	at, ok := q.PeekTime()
+	if !ok || at != 42 {
+		t.Fatalf("PeekTime = %d,%v want 42,true", at, ok)
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in nondecreasing
+// time order and the clock ends at the max scheduled time.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		q := NewQueue()
+		var fired []Time
+		var maxAt Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > maxAt {
+				maxAt = at
+			}
+			q.Schedule(at, func() { fired = append(fired, q.Now()) })
+		}
+		q.Drain()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || q.Now() == maxAt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement to run.
+func TestPropertyCancelSubset(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%64) + 1
+		q := NewQueue()
+		ran := make([]bool, count)
+		events := make([]*Event, count)
+		for i := 0; i < count; i++ {
+			i := i
+			events[i] = q.Schedule(Time(i*7%13), func() { ran[i] = true })
+		}
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				q.Cancel(events[i])
+			}
+		}
+		q.Drain()
+		for i := 0; i < count; i++ {
+			cancelled := mask&(1<<uint(i)) != 0
+			if ran[i] == cancelled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

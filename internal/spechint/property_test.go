@@ -1,0 +1,156 @@
+package spechint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spechint/internal/vm"
+)
+
+// randomProgram builds a structurally valid program from a seed: a mix of
+// ALU ops, memory ops, branches, calls and syscalls with in-range targets.
+func randomProgram(seed int64, n int) *vm.Program {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 4 {
+		n = 4
+	}
+	text := make([]vm.Instr, n)
+	reg := func() uint8 { return uint8(1 + rng.Intn(25)) }
+	for i := range text {
+		switch rng.Intn(12) {
+		case 0:
+			text[i] = vm.Instr{Op: vm.ADD, Rd: reg(), Rs1: reg(), Rs2: reg()}
+		case 1:
+			text[i] = vm.Instr{Op: vm.MOVI, Rd: reg(), Imm: rng.Int63n(1 << 16)}
+		case 2:
+			text[i] = vm.Instr{Op: vm.LDW, Rd: reg(), Rs1: reg(), Imm: int64(rng.Intn(256))}
+		case 3:
+			text[i] = vm.Instr{Op: vm.STW, Rs1: reg(), Rs2: reg(), Imm: int64(rng.Intn(256))}
+		case 4:
+			text[i] = vm.Instr{Op: vm.LDB, Rd: reg(), Rs1: vm.SP, Imm: -int64(rng.Intn(64))}
+		case 5:
+			text[i] = vm.Instr{Op: vm.STB, Rs1: vm.SP, Rs2: reg(), Imm: -int64(rng.Intn(64))}
+		case 6:
+			text[i] = vm.Instr{Op: vm.BEQ, Rs1: reg(), Rs2: reg(), Imm: int64(rng.Intn(n))}
+		case 7:
+			text[i] = vm.Instr{Op: vm.JMP, Imm: int64(rng.Intn(n))}
+		case 8:
+			text[i] = vm.Instr{Op: vm.CALL, Imm: int64(rng.Intn(n))}
+		case 9:
+			text[i] = vm.Instr{Op: vm.RET}
+		case 10:
+			text[i] = vm.Instr{Op: vm.SYSCALL, Imm: int64(rng.Intn(int(vm.SysCount)))}
+		default:
+			text[i] = vm.Instr{Op: vm.JR, Rs1: reg()}
+		}
+	}
+	return &vm.Program{Text: text, DataSize: 4096}
+}
+
+// Property: for any program, the transform (1) leaves the original half
+// bit-identical, (2) produces a shadow of equal length, (3) rewrites every
+// non-SP load/store in the shadow to a checked variant, (4) rebases every
+// direct control transfer into the shadow, and (5) leaves no plain indirect
+// transfer in the shadow.
+func TestPropertyTransformInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		p := randomProgram(seed, int(sz)%200+4)
+		out, st, err := Transform(p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		n := out.OrigTextLen
+		if int64(len(out.Text)) != 2*n || out.ShadowBase != n {
+			return false
+		}
+		for i := int64(0); i < n; i++ {
+			if out.Text[i] != p.Text[i] {
+				return false // original half modified
+			}
+		}
+		checks := 0
+		for i := n; i < 2*n; i++ {
+			ins := out.Text[i]
+			orig := p.Text[i-n]
+			switch orig.Op {
+			case vm.LDB, vm.LDW, vm.STB, vm.STW:
+				if orig.Rs1 == vm.SP {
+					if ins.Op != orig.Op {
+						return false // SP access must stay plain
+					}
+				} else {
+					if !ins.Op.IsSpeculative() {
+						return false // non-SP access must be checked
+					}
+					checks++
+				}
+			case vm.BEQ, vm.BNE, vm.BLT, vm.BGE, vm.JMP, vm.CALL:
+				if ins.Imm != orig.Imm+n {
+					return false // direct transfer not rebased
+				}
+				if ins.Imm < n || ins.Imm >= 2*n {
+					return false // rebased target outside the shadow
+				}
+			case vm.JR, vm.CALLR, vm.RET:
+				if ins.Op == vm.JR || ins.Op == vm.CALLR || ins.Op == vm.RET {
+					return false // plain indirect transfer left in shadow
+				}
+			}
+		}
+		return checks == st.ChecksAdded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transformation is deterministic.
+func TestPropertyTransformDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomProgram(seed, 64)
+		a, _, err1 := Transform(p, DefaultOptions())
+		b, _, err2 := Transform(p, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Text {
+			if a.Text[i] != b.Text[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the transformed program always validates, and its data section
+// and jump tables are preserved.
+func TestPropertyTransformValidatesAndPreservesData(t *testing.T) {
+	f := func(seed int64, data []byte) bool {
+		p := randomProgram(seed, 32)
+		p.Data = append([]byte(nil), data...)
+		p.DataSize = int64(len(data)) + 128
+		out, _, err := Transform(p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		if out.Validate() != nil {
+			return false
+		}
+		if len(out.Data) != len(p.Data) {
+			return false
+		}
+		for i := range out.Data {
+			if out.Data[i] != p.Data[i] {
+				return false
+			}
+		}
+		return out.DataSize == p.DataSize && out.Entry == p.Entry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+// Package spechint implements the paper's binary modification tool: it
+// transforms a vm.Program the way SpecHint transformed Digital UNIX Alpha
+// binaries (paper §3.3), producing an executable that can perform
+// speculative execution for I/O hint generation.
+//
+// The transformation (all static):
+//
+//   - A complete copy of the text section is appended — the shadow code.
+//     The speculating thread executes only within the shadow, which is what
+//     lets the original thread's code path carry zero added instructions.
+//   - In the shadow, every load and store is rewritten to its software-
+//     copy-on-write-checked variant — except stack-pointer-relative
+//     accesses, which stay unchecked because the speculating thread runs on
+//     a private copy of the stack (§3.2.2's stack-copy optimization).
+//   - Control transfers that can be statically resolved (branches, jmp,
+//     call) are redirected into the shadow by rebasing their targets.
+//   - Indirect transfers through jump tables in a recognized format are
+//     rewritten to the checked jump-table op; all other indirect transfers
+//     (jr, callr, ret) are routed through the dynamic handling routine,
+//     which maps original-text targets into the shadow at run time and
+//     refuses to let speculation leave the shadow.
+//   - Calls to known output routines (print, printint), which cannot
+//     influence future read accesses but can burn many cycles, are removed
+//     from the shadow.
+//
+// Read calls are left in place; the speculative-execution runtime
+// (internal/core) turns a read executed in speculative mode into the
+// corresponding TIP hint, exactly as the paper's modified read stub did.
+package spechint
+
+import (
+	"fmt"
+	"time"
+
+	"spechint/internal/vm"
+)
+
+// Options control the transformation.
+type Options struct {
+	// RemoveOutputRoutines removes print calls from the shadow code
+	// (paper §3.3: printf, fprintf, flsbuf).
+	RemoveOutputRoutines bool
+
+	// StackCopyOptimization leaves SP-relative loads and stores unchecked,
+	// relying on the private speculative stack (paper §3.2.2, footnote 3).
+	// Disabling it models a transform without the optimization; every
+	// memory access then pays the check cost.
+	StackCopyOptimization bool
+
+	// JumpTableLookback is how many instructions before an indirect jump
+	// the recognizer scans for the table-load idiom. The real tool
+	// recognized "a few compiler-dependent formats"; ours recognizes
+	// ldw rT, table(rIdx) ... jr rT against registered JTAbsolute tables.
+	JumpTableLookback int
+}
+
+// DefaultOptions mirror the paper's tool.
+func DefaultOptions() Options {
+	return Options{
+		RemoveOutputRoutines:  true,
+		StackCopyOptimization: true,
+		JumpTableLookback:     4,
+	}
+}
+
+// Stats describes one transformation, feeding the paper's Table 3.
+type Stats struct {
+	OrigInstrs   int
+	TotalInstrs  int
+	ChecksAdded  int // loads/stores rewritten to checked variants
+	StackSkipped int // SP-relative accesses left unchecked
+	StaticJumps  int // statically redirected direct transfers
+	DynamicJumps int // indirect transfers routed through the handler
+	TablesStatic int // jump-table jumps statically recognized
+	OutputCalls  int // output-routine calls removed
+	HintSites    int // read syscalls that become hint sites in the shadow
+
+	OrigBytes  int64
+	TotalBytes int64
+	Elapsed    time.Duration
+}
+
+// SizeIncreasePct returns the executable growth percentage.
+func (s Stats) SizeIncreasePct() float64 {
+	if s.OrigBytes == 0 {
+		return 0
+	}
+	return 100 * float64(s.TotalBytes-s.OrigBytes) / float64(s.OrigBytes)
+}
+
+// Transform returns a new program with shadow code appended. The input is
+// not modified. Transforming an already-transformed program is an error.
+func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
+	start := time.Now()
+	var st Stats
+	if err := p.Validate(); err != nil {
+		return nil, st, err
+	}
+	if p.ShadowBase != 0 || p.OrigTextLen != 0 {
+		return nil, st, fmt.Errorf("spechint: program already transformed")
+	}
+	for i, ins := range p.Text {
+		if ins.Op.IsSpeculative() {
+			return nil, st, fmt.Errorf("spechint: speculative op %v at %d in input", ins.Op, i)
+		}
+	}
+	if opt.JumpTableLookback <= 0 {
+		opt.JumpTableLookback = 1
+	}
+
+	n := int64(len(p.Text))
+	out := &vm.Program{
+		Text:        make([]vm.Instr, n, 2*n),
+		Data:        append([]byte(nil), p.Data...),
+		DataSize:    p.DataSize,
+		Entry:       p.Entry,
+		JumpTables:  append([]vm.JumpTable(nil), p.JumpTables...),
+		Symbols:     make(map[string]int64, 2*len(p.Symbols)),
+		DataSymbols: make(map[string]int64, len(p.DataSymbols)),
+		OrigTextLen: n,
+		ShadowBase:  n,
+	}
+	copy(out.Text, p.Text)
+	for k, v := range p.Symbols {
+		out.Symbols[k] = v
+		out.Symbols[k+"$shadow"] = v + n
+	}
+	for k, v := range p.DataSymbols {
+		out.DataSymbols[k] = v
+	}
+
+	// Index recognized (absolute-format) jump tables by address.
+	absTables := make(map[int64]int) // data addr -> table index
+	for i, jt := range p.JumpTables {
+		if jt.Format == vm.JTAbsolute {
+			absTables[jt.Addr] = i
+		}
+	}
+
+	// recognizeTable reports whether the jr at original index i consumes a
+	// value loaded from a recognized jump table within the lookback window.
+	recognizeTable := func(i int, reg uint8) (int, bool) {
+		lo := i - opt.JumpTableLookback
+		if lo < 0 {
+			lo = 0
+		}
+		for j := i - 1; j >= lo; j-- {
+			ins := p.Text[j]
+			if ins.Op == vm.LDW && ins.Rd == reg {
+				if ti, ok := absTables[ins.Imm]; ok {
+					return ti, true
+				}
+				return 0, false // loaded from elsewhere
+			}
+			// A redefinition of the register by any other op breaks the idiom.
+			if ins.Rd == reg && ins.Op != vm.NOP && !ins.Op.IsStore() {
+				return 0, false
+			}
+		}
+		return 0, false
+	}
+
+	for i := int64(0); i < n; i++ {
+		ins := p.Text[i] // copy
+		switch ins.Op {
+		case vm.LDB, vm.LDW:
+			if opt.StackCopyOptimization && ins.Rs1 == vm.SP {
+				st.StackSkipped++
+				break
+			}
+			if ins.Op == vm.LDB {
+				ins.Op = vm.LDBS
+			} else {
+				ins.Op = vm.LDWS
+			}
+			st.ChecksAdded++
+
+		case vm.STB, vm.STW:
+			if opt.StackCopyOptimization && ins.Rs1 == vm.SP {
+				st.StackSkipped++
+				break
+			}
+			if ins.Op == vm.STB {
+				ins.Op = vm.STBS
+			} else {
+				ins.Op = vm.STWS
+			}
+			st.ChecksAdded++
+
+		case vm.BEQ, vm.BNE, vm.BLT, vm.BGE, vm.JMP, vm.CALL:
+			ins.Imm += n
+			st.StaticJumps++
+
+		case vm.JR:
+			if ti, ok := recognizeTable(int(i), ins.Rs1); ok {
+				ins.Op = vm.JTR
+				ins.Imm = int64(ti)
+				st.TablesStatic++
+			} else {
+				ins.Op = vm.JRH
+				st.DynamicJumps++
+			}
+		case vm.CALLR:
+			ins.Op = vm.CALLRH
+			st.DynamicJumps++
+		case vm.RET:
+			ins.Op = vm.RETH
+			st.DynamicJumps++
+
+		case vm.SYSCALL:
+			switch ins.Imm {
+			case vm.SysPrint, vm.SysPrintInt:
+				if opt.RemoveOutputRoutines {
+					ins = vm.Instr{Op: vm.NOP}
+					st.OutputCalls++
+				}
+			case vm.SysRead:
+				st.HintSites++
+			}
+		}
+		out.Text = append(out.Text, ins)
+	}
+
+	st.OrigInstrs = int(n)
+	st.TotalInstrs = len(out.Text)
+	st.OrigBytes = n * vm.InstrBytes
+	st.TotalBytes = int64(len(out.Text)) * vm.InstrBytes
+	st.Elapsed = time.Since(start)
+	if err := out.Validate(); err != nil {
+		return nil, st, fmt.Errorf("spechint: transformed program invalid: %w", err)
+	}
+	return out, st, nil
+}
+
+// ShadowPC maps an original-text PC to its shadow equivalent. It panics on
+// out-of-range input; callers hold validated PCs.
+func ShadowPC(p *vm.Program, pc int64) int64 {
+	if pc < 0 || pc >= p.OrigTextLen {
+		panic(fmt.Sprintf("spechint: PC %d outside original text [0,%d)", pc, p.OrigTextLen))
+	}
+	return pc + p.ShadowBase
+}

@@ -1,0 +1,272 @@
+package spechint
+
+import (
+	"testing"
+
+	"spechint/internal/asm"
+	"spechint/internal/vm"
+)
+
+func mustTransform(t *testing.T, src string, opt Options) (*vm.Program, Stats) {
+	t.Helper()
+	p := asm.MustAssemble(src)
+	out, st, err := Transform(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+const tinySrc = `
+.data
+buf: .space 64
+.text
+main:
+    movi r1, buf
+    ldw  r2, (r1)
+    stw  r2, 8(r1)
+    ldw  r3, 8(sp)
+    stw  r3, -8(sp)
+    beq  r2, r3, main
+    call fn
+    syscall read
+    syscall print
+    syscall exit
+fn:
+    ret
+`
+
+func TestTransformBasics(t *testing.T) {
+	out, st := mustTransform(t, tinySrc, DefaultOptions())
+	if out.OrigTextLen == 0 || out.ShadowBase != out.OrigTextLen {
+		t.Fatalf("shadow layout: orig %d base %d", out.OrigTextLen, out.ShadowBase)
+	}
+	if int64(len(out.Text)) != 2*out.OrigTextLen {
+		t.Fatalf("text len %d, want doubled %d", len(out.Text), 2*out.OrigTextLen)
+	}
+	// Original half is untouched.
+	orig := asm.MustAssemble(tinySrc)
+	for i, ins := range orig.Text {
+		if out.Text[i] != ins {
+			t.Fatalf("original instr %d modified: %v -> %v", i, ins, out.Text[i])
+		}
+	}
+	if st.OrigInstrs != len(orig.Text) || st.TotalInstrs != len(out.Text) {
+		t.Fatalf("stats counts: %+v", st)
+	}
+	if st.SizeIncreasePct() != 100 {
+		t.Fatalf("size increase = %.1f%%, want 100%%", st.SizeIncreasePct())
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	p := asm.MustAssemble(tinySrc)
+	textBefore := append([]vm.Instr(nil), p.Text...)
+	if _, _, err := Transform(p, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if p.ShadowBase != 0 || p.OrigTextLen != 0 {
+		t.Fatal("input program metadata mutated")
+	}
+	for i := range textBefore {
+		if p.Text[i] != textBefore[i] {
+			t.Fatal("input text mutated")
+		}
+	}
+}
+
+func TestChecksAndStackOptimization(t *testing.T) {
+	out, st := mustTransform(t, tinySrc, DefaultOptions())
+	base := out.ShadowBase
+	// ldw r2,(r1) -> checked; stw r2,8(r1) -> checked.
+	if out.Text[base+1].Op != vm.LDWS || out.Text[base+2].Op != vm.STWS {
+		t.Fatalf("non-SP accesses not checked: %v %v", out.Text[base+1].Op, out.Text[base+2].Op)
+	}
+	// SP-relative stay plain.
+	if out.Text[base+3].Op != vm.LDW || out.Text[base+4].Op != vm.STW {
+		t.Fatalf("SP accesses were checked: %v %v", out.Text[base+3].Op, out.Text[base+4].Op)
+	}
+	if st.ChecksAdded != 2 || st.StackSkipped != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Without the optimization everything is checked.
+	opt := DefaultOptions()
+	opt.StackCopyOptimization = false
+	_, st2 := mustTransform(t, tinySrc, opt)
+	if st2.ChecksAdded != 4 || st2.StackSkipped != 0 {
+		t.Fatalf("no-stack-opt stats: %+v", st2)
+	}
+}
+
+func TestStaticRedirection(t *testing.T) {
+	out, st := mustTransform(t, tinySrc, DefaultOptions())
+	base := out.ShadowBase
+	beq := out.Text[base+5]
+	if beq.Op != vm.BEQ || beq.Imm != out.Symbols["main"]+base {
+		t.Fatalf("beq not redirected: %+v", beq)
+	}
+	call := out.Text[base+6]
+	if call.Op != vm.CALL || call.Imm != out.Symbols["fn"]+base {
+		t.Fatalf("call not redirected: %+v", call)
+	}
+	if st.StaticJumps != 2 {
+		t.Fatalf("StaticJumps = %d, want 2", st.StaticJumps)
+	}
+	// ret -> ret.h
+	if out.Text[base+out.Symbols["fn"]].Op != vm.RETH {
+		t.Fatal("ret not routed through handler")
+	}
+	if st.DynamicJumps != 1 {
+		t.Fatalf("DynamicJumps = %d, want 1", st.DynamicJumps)
+	}
+}
+
+func TestOutputRoutineRemoval(t *testing.T) {
+	out, st := mustTransform(t, tinySrc, DefaultOptions())
+	base := out.ShadowBase
+	if out.Text[base+8].Op != vm.NOP {
+		t.Fatalf("print not removed: %v", out.Text[base+8])
+	}
+	if st.OutputCalls != 1 || st.HintSites != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Read stays a read (runtime turns it into a hint).
+	if out.Text[base+7].Op != vm.SYSCALL || out.Text[base+7].Imm != vm.SysRead {
+		t.Fatalf("read rewritten: %v", out.Text[base+7])
+	}
+	// With removal disabled, print survives.
+	opt := DefaultOptions()
+	opt.RemoveOutputRoutines = false
+	out2, st2 := mustTransform(t, tinySrc, opt)
+	if out2.Text[base+8].Op != vm.SYSCALL || st2.OutputCalls != 0 {
+		t.Fatal("print removed despite option off")
+	}
+}
+
+const jtSrc = `
+.data
+tbl:  .jumptable absolute c0, c1, c2
+utbl: .jumptable unknown c0, c1
+.text
+main:
+    shli r10, r1, 3
+    ldw  r11, tbl(r10)
+    jr   r11
+c0: nop
+c1: nop
+c2: nop
+    ldw  r12, utbl(r10)
+    jr   r12
+    movi r13, c0
+    jr   r13
+    syscall exit
+`
+
+func TestJumpTableRecognition(t *testing.T) {
+	out, st := mustTransform(t, jtSrc, DefaultOptions())
+	base := out.ShadowBase
+	// First jr: recognized table -> JTR with table index 0.
+	jtr := out.Text[base+2]
+	if jtr.Op != vm.JTR || jtr.Imm != 0 {
+		t.Fatalf("recognized jr = %+v", jtr)
+	}
+	// Second jr: unknown-format table -> handler.
+	if out.Text[base+7].Op != vm.JRH {
+		t.Fatalf("unknown-table jr = %v", out.Text[base+7].Op)
+	}
+	// Third jr: movi defines the register (not a table load) -> handler.
+	if out.Text[base+9].Op != vm.JRH {
+		t.Fatalf("funcptr jr = %v", out.Text[base+9].Op)
+	}
+	if st.TablesStatic != 1 || st.DynamicJumps != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDoubleTransformRejected(t *testing.T) {
+	p := asm.MustAssemble(tinySrc)
+	out, _, err := Transform(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Transform(out, DefaultOptions()); err == nil {
+		t.Fatal("double transform accepted")
+	}
+}
+
+func TestSpeculativeOpsInInputRejected(t *testing.T) {
+	p := &vm.Program{Text: []vm.Instr{{Op: vm.LDWS, Rd: 1, Rs1: 2}}}
+	if _, _, err := Transform(p, DefaultOptions()); err == nil {
+		t.Fatal("speculative input accepted")
+	}
+}
+
+func TestInvalidInputRejected(t *testing.T) {
+	if _, _, err := Transform(&vm.Program{}, DefaultOptions()); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestShadowSymbols(t *testing.T) {
+	out, _ := mustTransform(t, tinySrc, DefaultOptions())
+	if out.Symbols["fn$shadow"] != out.Symbols["fn"]+out.ShadowBase {
+		t.Fatal("shadow symbol wrong")
+	}
+}
+
+func TestShadowPC(t *testing.T) {
+	out, _ := mustTransform(t, tinySrc, DefaultOptions())
+	if ShadowPC(out, 3) != out.ShadowBase+3 {
+		t.Fatal("ShadowPC wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShadowPC out of range did not panic")
+		}
+	}()
+	ShadowPC(out, out.OrigTextLen)
+}
+
+func TestElapsedAndBytesPopulated(t *testing.T) {
+	_, st := mustTransform(t, tinySrc, DefaultOptions())
+	if st.OrigBytes == 0 || st.TotalBytes != 2*st.OrigBytes {
+		t.Fatalf("bytes: %+v", st)
+	}
+	if st.Elapsed < 0 {
+		t.Fatal("negative elapsed")
+	}
+}
+
+// The transformed program's original half must still run correctly.
+type exitOS struct{}
+
+func (exitOS) Syscall(m *vm.Machine, th *vm.Thread, code int64) vm.SysControl {
+	if code == vm.SysExit {
+		th.ExitCode = th.Regs[vm.R1]
+		return vm.SysHalt
+	}
+	th.Regs[vm.R1] = 0
+	return vm.SysDone
+}
+
+func TestTransformedOriginalStillRuns(t *testing.T) {
+	src := `
+.data
+v: .word 17
+.text
+main:
+    ldw r1, v
+    addi r1, r1, 25
+    syscall exit
+`
+	out, _ := mustTransform(t, src, DefaultOptions())
+	m, err := vm.NewMachine(out, exitOS{}, vm.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.NewThread("orig", vm.Normal)
+	_, stop := m.Run(th, 10_000)
+	if stop != vm.StopHalted || th.ExitCode != 42 {
+		t.Fatalf("stop %v exit %d err %v", stop, th.ExitCode, th.Err)
+	}
+}

@@ -1,0 +1,715 @@
+// Package tip implements the informed prefetching and caching manager from
+// Patterson's TIP, as used by the SpecHint paper: applications disclose
+// their future reads as a sequence of hints (Table 2's TIPIO_SEG /
+// TIPIO_FD_SEG / TIPIO_CANCEL_ALL) and TIP converts them into prefetch I/O,
+// balancing prefetch depth against cache pressure with a simplified
+// cost-benefit rule.
+//
+// Unhinted read calls invoke the operating system's sequential read-ahead
+// policy, which prefetches approximately as many blocks as have been read
+// sequentially, up to 64 — aggressive enough to waste most of its prefetches
+// on random-access workloads like XDataSlice, as the paper's Table 5 shows.
+package tip
+
+import (
+	"fmt"
+
+	"spechint/internal/cache"
+	"spechint/internal/disk"
+	"spechint/internal/fsim"
+	"spechint/internal/sim"
+)
+
+// Config tunes the manager.
+type Config struct {
+	CacheBlocks int // file cache capacity in blocks
+
+	// Horizon is the maximum prefetch depth, in blocks, down the hinted
+	// sequence. TIP derived this bound from its system model; here it is a
+	// parameter, scaled down by observed hint accuracy.
+	Horizon int
+
+	// MinHorizon floors the accuracy-scaled horizon so that a burst of bad
+	// hints cannot disable prefetching permanently.
+	MinHorizon int
+
+	// ReadaheadMax caps the sequential read-ahead policy (64 blocks in
+	// Digital UNIX).
+	ReadaheadMax int
+
+	// MaxDepthPerDisk bounds prefetches outstanding (queued + in service)
+	// at each disk. This is the queue-side half of TIP's cost-benefit rule:
+	// deep prefetch queues make demand reads wait behind prefetches whose
+	// buffers they need (a non-preemptible request cannot be jumped even by
+	// a higher-priority demand for the same block). Zero means unbounded.
+	MaxDepthPerDisk int
+
+	// RADepthPerDisk bounds outstanding sequential read-ahead prefetches per
+	// disk. It is deliberately looser than MaxDepthPerDisk: the read-ahead
+	// policy predates TIP's cost-benefit control and is "entirely too
+	// aggressive" for nonsequential workloads (paper §4.4). Zero means
+	// unbounded.
+	RADepthPerDisk int
+
+	// MaxHintSegs caps the outstanding hint queue; hints beyond the cap are
+	// dropped (TIP's hint buffers were finite). Runaway speculation can
+	// otherwise disclose unbounded garbage. Zero means unbounded.
+	MaxHintSegs int
+
+	// IgnoreHints makes hint calls no-ops (the paper's Figure 4
+	// configuration): every read is treated as unhinted.
+	IgnoreHints bool
+}
+
+// DefaultConfig mirrors the testbed: 12 MB cache of 8 KB blocks.
+func DefaultConfig() Config {
+	return Config{
+		CacheBlocks:     12 << 20 / 8192,
+		Horizon:         256,
+		MinHorizon:      16,
+		ReadaheadMax:    64,
+		MaxDepthPerDisk: 8,
+		RADepthPerDisk:  8,
+		MaxHintSegs:     1 << 16,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.CacheBlocks <= 0:
+		return fmt.Errorf("tip: CacheBlocks = %d, want > 0", c.CacheBlocks)
+	case c.Horizon <= 0:
+		return fmt.Errorf("tip: Horizon = %d, want > 0", c.Horizon)
+	case c.MinHorizon <= 0 || c.MinHorizon > c.Horizon:
+		return fmt.Errorf("tip: MinHorizon = %d, want in [1, Horizon]", c.MinHorizon)
+	case c.ReadaheadMax < 0:
+		return fmt.Errorf("tip: ReadaheadMax = %d, want >= 0", c.ReadaheadMax)
+	case c.MaxDepthPerDisk < 0 || c.RADepthPerDisk < 0 || c.MaxHintSegs < 0:
+		return fmt.Errorf("tip: negative MaxDepthPerDisk, RADepthPerDisk or MaxHintSegs")
+	}
+	return nil
+}
+
+// Stats aggregates the hinting and prefetching activity of one run; it is
+// the source for the paper's Tables 4 and 5.
+type Stats struct {
+	// Demand read activity (explicit file calls only).
+	ReadCalls  int64
+	ReadBlocks int64
+	ReadBytes  int64
+	// Subset of the above that arrived hinted.
+	HintedReadCalls  int64
+	HintedReadBlocks int64
+	HintedReadBytes  int64
+
+	// Hint activity.
+	HintCalls     int64
+	HintBlocks    int64
+	HintBytes     int64
+	CancelCalls   int64
+	CancelledSegs int64
+	DroppedHints  int64 // hint calls dropped at the MaxHintSegs cap
+	MatchedCalls  int64
+	MatchedBlocks int64
+	MatchedBytes  int64
+	BypassedSegs  int64
+
+	// Prefetch activity.
+	HintPrefetches int64 // blocks fetched because of hints
+	RAPrefetches   int64 // blocks fetched by sequential read-ahead
+}
+
+// InaccurateCalls returns the number of hint calls that never matched a
+// demand read (valid after FinishRun).
+func (s Stats) InaccurateCalls() int64 { return s.HintCalls - s.MatchedCalls }
+
+// InaccurateBlocks returns hinted blocks that never matched a demand read.
+func (s Stats) InaccurateBlocks() int64 { return s.HintBlocks - s.MatchedBlocks }
+
+// InaccurateBytes returns hinted bytes that never matched a demand read.
+func (s Stats) InaccurateBytes() int64 { return s.HintBytes - s.MatchedBytes }
+
+// PrefetchedBlocks returns the total blocks fetched speculatively.
+func (s Stats) PrefetchedBlocks() int64 { return s.HintPrefetches + s.RAPrefetches }
+
+// segment is one hinted (file, offset, length) from a TIPIO_SEG call.
+// Reads consume segments progressively: a manual hint may disclose a whole
+// file that the application then reads in many small calls, while a
+// speculative hint matches exactly one read call.
+type segment struct {
+	file       *fsim.File
+	off, n     int64
+	firstBlock int64   // file block index of blocks[0]
+	blocks     []int64 // logical block numbers
+	consumed   int64   // high-water mark of consumed bytes from off
+	cancelled  bool
+	complete   bool
+}
+
+// dataEnd returns the end of the segment clamped to the file.
+func (s *segment) dataEnd() int64 {
+	end := s.off + s.n
+	if sz := s.file.Size(); end > sz {
+		end = sz
+	}
+	return end
+}
+
+// consumedBlocks returns how many of the segment's blocks are fully consumed.
+func (s *segment) consumedBlocks(blockSize int64) int64 {
+	if s.consumed <= 0 {
+		return 0
+	}
+	cb := (s.off+s.consumed)/blockSize - s.firstBlock
+	if cb < 0 {
+		cb = 0
+	}
+	if cb > int64(len(s.blocks)) {
+		cb = int64(len(s.blocks))
+	}
+	return cb
+}
+
+// raState tracks the sequential read-ahead heuristic for one file.
+type raState struct {
+	nextByte  int64 // where a sequential read would continue
+	runBlocks int64 // length of the current sequential run, in blocks
+}
+
+// Manager is the informed prefetching and caching manager.
+type Manager struct {
+	clk   *sim.Queue
+	arr   *disk.Array
+	fs    *fsim.FS
+	cache *cache.Cache
+	cfg   Config
+
+	hints []*segment
+	head  int // first unconsumed hint
+
+	ra map[int64]*raState // by inode
+
+	// pendingDemand holds demand fetches that could not obtain a buffer
+	// (everything in transit); retried on every completion.
+	pendingDemand []func() bool
+
+	prefDepth map[int]int             // outstanding prefetches per disk
+	inflight  map[int64]*disk.Request // in-transit block -> its disk request
+
+	// Windowed hint-accuracy estimate (right ≈ matched, wrong ≈ bypassed +
+	// cancelled, both decayed): TIP discounts the benefit of prefetching
+	// for processes whose recent hints proved unreliable, but a burst of
+	// cancellations must not suppress prefetching forever.
+	accGood float64
+	accBad  float64
+
+	stats Stats
+}
+
+// accWindow is the sliding-window size for the accuracy estimate.
+const accWindow = 256
+
+func (m *Manager) accObserve(good bool, weight float64) {
+	if good {
+		m.accGood += weight
+	} else {
+		m.accBad += weight
+	}
+	if m.accGood+m.accBad > accWindow {
+		m.accGood /= 2
+		m.accBad /= 2
+	}
+}
+
+// New constructs a manager over the given clock, array and file system.
+func New(clk *sim.Queue, arr *disk.Array, fs *fsim.FS, cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		clk:       clk,
+		arr:       arr,
+		fs:        fs,
+		cache:     cache.New(cfg.CacheBlocks),
+		cfg:       cfg,
+		ra:        make(map[int64]*raState),
+		prefDepth: make(map[int]int),
+		inflight:  make(map[int64]*disk.Request),
+	}
+	arr.OnIdle = func(int) { m.pump() }
+	return m, nil
+}
+
+// Cache exposes the underlying cache (read-only use: stats, inspection).
+func (m *Manager) Cache() *cache.Cache { return m.cache }
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// blockRange returns the file-block index range [first, last] covering
+// [off, off+n) clamped to the file, or ok=false if the range is empty.
+func blockRange(f *fsim.File, off, n int64, blockSize int64) (first, last int64, ok bool) {
+	if off < 0 || n <= 0 || off >= f.Size() {
+		return 0, 0, false
+	}
+	end := off + n
+	if end > f.Size() {
+		end = f.Size()
+	}
+	return off / blockSize, (end - 1) / blockSize, true
+}
+
+// HintSeg discloses a future read of [off, off+n) in f (TIPIO_SEG /
+// TIPIO_FD_SEG; the two differ only in how the caller named the file).
+func (m *Manager) HintSeg(f *fsim.File, off, n int64) {
+	m.stats.HintCalls++
+	bs := int64(m.fs.BlockSize())
+	seg := &segment{file: f, off: off, n: n}
+	if first, last, ok := blockRange(f, off, n, bs); ok {
+		seg.firstBlock = first
+		for b := first; b <= last; b++ {
+			seg.blocks = append(seg.blocks, f.LogicalBlock(b))
+		}
+		m.stats.HintBlocks += int64(len(seg.blocks))
+		end := off + n
+		if end > f.Size() {
+			end = f.Size()
+		}
+		m.stats.HintBytes += end - off
+	}
+	if m.cfg.IgnoreHints {
+		return
+	}
+	if m.cfg.MaxHintSegs > 0 && len(m.hints)-m.head >= m.cfg.MaxHintSegs {
+		// Hint buffers are full (runaway speculation): drop the hint.
+		m.stats.DroppedHints++
+		return
+	}
+	m.hints = append(m.hints, seg)
+	m.pump()
+}
+
+// Seg is one (file, offset, length) disclosure for batch hinting.
+type Seg struct {
+	File *fsim.File
+	Off  int64
+	N    int64
+}
+
+// HintBatch discloses several future reads in one call — Table 2's batched
+// TIPIO_SEG form. Speculative execution discovers reads one at a time and
+// never uses it (as the paper notes), but manually modified applications
+// can.
+func (m *Manager) HintBatch(segs []Seg) {
+	for _, sg := range segs {
+		m.HintSeg(sg.File, sg.Off, sg.N)
+	}
+}
+
+// CancelAll cancels all outstanding hints (TIPIO_CANCEL_ALL). Prefetch
+// requests already issued to the disks proceed; their blocks merely lose
+// hint protection in the cache.
+func (m *Manager) CancelAll() {
+	m.stats.CancelCalls++
+	if m.cfg.IgnoreHints {
+		return
+	}
+	for i := m.head; i < len(m.hints); i++ {
+		seg := m.hints[i]
+		if seg.cancelled {
+			continue
+		}
+		seg.cancelled = true
+		m.stats.CancelledSegs++
+		m.accObserve(false, 1)
+		for _, lb := range seg.blocks {
+			m.cache.SetHintDist(lb, cache.NoHint)
+		}
+	}
+	m.hints = m.hints[:0]
+	m.head = 0
+}
+
+// Accuracy returns TIP's windowed estimate of the fraction of recent hints
+// that proved correct (1.0 before any evidence). The adaptive speculation
+// throttle consults it.
+func (m *Manager) Accuracy() float64 { return m.accuracy() }
+
+// accuracy estimates the fraction of recent hints that proved correct. TIP
+// uses this to discount the benefit of prefetching in response to hints.
+func (m *Manager) accuracy() float64 {
+	if m.accGood+m.accBad == 0 {
+		return 1.0
+	}
+	return m.accGood / (m.accGood + m.accBad)
+}
+
+// effHorizon returns the accuracy-scaled prefetch horizon.
+func (m *Manager) effHorizon() int {
+	h := int(float64(m.cfg.Horizon) * m.accuracy())
+	if h < m.cfg.MinHorizon {
+		h = m.cfg.MinHorizon
+	}
+	return h
+}
+
+// pump issues hint-driven prefetches up to the effective horizon. It is
+// invoked on every hint, every disk-idle transition and every completion.
+func (m *Manager) pump() {
+	if m.cfg.IgnoreHints {
+		return
+	}
+	horizon := m.effHorizon()
+	bs := int64(m.fs.BlockSize())
+	dist := 0
+	for i := m.head; i < len(m.hints) && dist < horizon; i++ {
+		seg := m.hints[i]
+		if seg.cancelled || seg.complete {
+			continue
+		}
+		for _, lb := range seg.blocks[seg.consumedBlocks(bs):] {
+			if dist >= horizon {
+				return
+			}
+			d := int64(dist)
+			dist++
+			if b := m.cache.Get(lb); b != nil {
+				if b.HintDist > d {
+					m.cache.SetHintDist(lb, d)
+				}
+				continue
+			}
+			switch m.startFetch(lb, cache.OriginHint, d) {
+			case fetchStarted:
+				m.stats.HintPrefetches++
+			case fetchDiskBusy:
+				continue // this disk is at depth; later blocks may differ
+			case fetchNoBuffer:
+				return // cache pressure: stop pumping entirely
+			}
+		}
+	}
+}
+
+// fetchResult says why startFetch declined, so the pump can distinguish
+// per-disk back-pressure (skip the block) from cache pressure (stop).
+type fetchResult int
+
+const (
+	fetchStarted fetchResult = iota
+	fetchDiskBusy
+	fetchNoBuffer
+)
+
+// startFetch acquires a buffer for lb and submits the disk request, leaving
+// no residue on failure.
+func (m *Manager) startFetch(lb int64, origin cache.Origin, hintDist int64) fetchResult {
+	dk, phys := m.arr.Map(lb)
+	pri := disk.Prefetch
+	if origin == cache.OriginDemand {
+		pri = disk.Demand
+	}
+	bound := m.cfg.MaxDepthPerDisk
+	if origin == cache.OriginReadahead {
+		bound = m.cfg.RADepthPerDisk
+	}
+	if pri == disk.Prefetch && bound > 0 && m.prefDepth[dk] >= bound {
+		return fetchDiskBusy
+	}
+	b := m.cache.Acquire(lb, origin, hintDist)
+	if b == nil {
+		return fetchNoBuffer
+	}
+	isPref := pri == disk.Prefetch
+	req := &disk.Request{
+		Disk: dk, PhysBlock: phys, Pri: pri,
+		Done: func() { m.onFetchDone(lb, dk, isPref) },
+	}
+	if !m.arr.Submit(req) {
+		m.cache.Drop(lb)
+		return fetchDiskBusy
+	}
+	m.inflight[lb] = req
+	if isPref {
+		m.prefDepth[dk]++
+	}
+	return fetchStarted
+}
+
+func (m *Manager) onFetchDone(lb int64, dk int, wasPrefetch bool) {
+	if wasPrefetch {
+		m.prefDepth[dk]--
+	}
+	delete(m.inflight, lb)
+	m.cache.Complete(lb)
+	m.retryPendingDemand()
+	m.pump()
+}
+
+func (m *Manager) retryPendingDemand() {
+	if len(m.pendingDemand) == 0 {
+		return
+	}
+	pending := m.pendingDemand
+	m.pendingDemand = m.pendingDemand[:0]
+	for _, fn := range pending {
+		if !fn() {
+			m.pendingDemand = append(m.pendingDemand, fn)
+		}
+	}
+}
+
+// findCover returns the queue index of the first live segment whose range
+// covers the read [off, off+n) of f (both clamped to the file), or -1.
+func (m *Manager) findCover(f *fsim.File, off, n int64) int {
+	covEnd := off + n
+	if sz := f.Size(); covEnd > sz {
+		covEnd = sz
+	}
+	for i := m.head; i < len(m.hints); i++ {
+		seg := m.hints[i]
+		if seg.cancelled || seg.complete {
+			continue
+		}
+		if seg.file == f && off >= seg.off && covEnd <= seg.dataEnd() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Covered reports whether a read of [off, off+n) in f is disclosed by an
+// outstanding hint. Manually-hinted applications use this to decide whether
+// a read call counts as hinted.
+func (m *Manager) Covered(f *fsim.File, off, n int64) bool {
+	if m.cfg.IgnoreHints {
+		return false
+	}
+	return m.findCover(f, off, n) >= 0
+}
+
+// consume matches a hinted demand read against the hint queue. Segments
+// skipped over on the way to the covering segment predicted reads that did
+// not occur (in that order) and are bypassed — this is how erroneous
+// speculation shows up in Table 4.
+func (m *Manager) consume(f *fsim.File, off, n int64) {
+	i := m.findCover(f, off, n)
+	if i < 0 {
+		return
+	}
+	for j := m.head; j < i; j++ {
+		seg := m.hints[j]
+		if !seg.cancelled && !seg.complete {
+			m.stats.BypassedSegs++
+			m.accObserve(false, 1)
+			for _, lb := range seg.blocks {
+				m.cache.SetHintDist(lb, cache.NoHint)
+			}
+		}
+	}
+	m.head = i
+	seg := m.hints[i]
+	covEnd := off + n
+	if end := seg.dataEnd(); covEnd > end {
+		covEnd = end
+	}
+	if hw := covEnd - seg.off; hw > seg.consumed {
+		seg.consumed = hw
+	}
+	m.accObserve(true, 1)
+	if seg.off+seg.consumed >= seg.dataEnd() {
+		seg.complete = true
+		m.stats.MatchedCalls++
+		m.stats.MatchedBlocks += int64(len(seg.blocks))
+		if bytes := seg.dataEnd() - seg.off; bytes > 0 {
+			m.stats.MatchedBytes += bytes
+		}
+		// Pop the completed prefix.
+		for m.head < len(m.hints) && (m.hints[m.head].complete || m.hints[m.head].cancelled) {
+			m.head++
+		}
+		m.compact()
+	}
+}
+
+// compact reclaims consumed queue prefix space.
+func (m *Manager) compact() {
+	if m.head > 1024 && m.head*2 > len(m.hints) {
+		m.hints = append(m.hints[:0:0], m.hints[m.head:]...)
+		m.head = 0
+	}
+}
+
+// Read performs a demand read of [off, off+n) from f. hinted says whether
+// the application's read found a matching hint-log entry (core decides).
+// done runs when every block is valid; if everything is already cached,
+// done is NOT called and Read returns true (the caller continues
+// synchronously — a cache hit costs no stall).
+func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (immediate bool) {
+	bs := int64(m.fs.BlockSize())
+	first, last, ok := blockRange(f, off, n, bs)
+	m.stats.ReadCalls++
+	if hinted && !m.cfg.IgnoreHints {
+		m.stats.HintedReadCalls++
+	}
+	if !ok {
+		return true // zero-byte or EOF read: no I/O
+	}
+	nBlocks := last - first + 1
+	end := off + n
+	if end > f.Size() {
+		end = f.Size()
+	}
+	m.stats.ReadBlocks += nBlocks
+	m.stats.ReadBytes += end - off
+	if hinted && !m.cfg.IgnoreHints {
+		m.stats.HintedReadBlocks += nBlocks
+		m.stats.HintedReadBytes += end - off
+		m.consume(f, off, n)
+	}
+
+	remaining := 0
+	var finish func()
+	dec := func() {
+		remaining--
+		if remaining == 0 && finish != nil {
+			finish()
+		}
+	}
+
+	// touchConsumed records a demand access and releases the block's hint
+	// protection: a consumed block must age out by LRU like any other, or
+	// it would squat in the cache with a stale, ever-more-precious hint
+	// distance while fresh prefetches evict each other at the horizon tail.
+	touchConsumed := func(lb int64) {
+		m.cache.Touch(lb)
+		m.cache.SetHintDist(lb, cache.NoHint)
+	}
+
+	type fetchPlan struct{ lb int64 }
+	var misses []fetchPlan
+	for b := first; b <= last; b++ {
+		lb := f.LogicalBlock(b)
+		blk := m.cache.Get(lb)
+		switch {
+		case blk != nil && blk.State() == cache.Valid:
+			touchConsumed(lb)
+		case blk != nil: // in transit
+			m.cache.NoteDemandWait(lb)
+			// The application now needs this block: if its prefetch is
+			// still queued, it inherits demand priority.
+			if req := m.inflight[lb]; req != nil {
+				m.arr.Promote(req)
+			}
+			remaining++
+			m.cache.Wait(lb, func() {
+				touchConsumed(lb)
+				dec()
+			})
+		default:
+			m.cache.NoteMiss()
+			remaining++
+			misses = append(misses, fetchPlan{lb})
+		}
+	}
+	for _, p := range misses {
+		lb := p.lb
+		start := func() bool {
+			if blk := m.cache.Get(lb); blk != nil {
+				// Raced with a prefetch issued meanwhile.
+				if blk.State() == cache.Valid {
+					touchConsumed(lb)
+					dec()
+					return true
+				}
+				m.cache.Wait(lb, func() {
+					touchConsumed(lb)
+					dec()
+				})
+				return true
+			}
+			if m.startFetch(lb, cache.OriginDemand, cache.NoHint) != fetchStarted {
+				return false
+			}
+			m.cache.Wait(lb, func() {
+				touchConsumed(lb)
+				dec()
+			})
+			return true
+		}
+		if !start() {
+			m.pendingDemand = append(m.pendingDemand, start)
+		}
+	}
+
+	if !hinted || m.cfg.IgnoreHints {
+		m.readahead(f, off, end, first, last)
+	}
+
+	// Consuming a hint moves the horizon forward; fill it.
+	m.pump()
+
+	if remaining == 0 {
+		return true
+	}
+	finish = done
+	return false
+}
+
+// readahead implements the sequential read-ahead policy: on a sequential
+// read, prefetch approximately as many blocks as have been read
+// sequentially, up to ReadaheadMax.
+func (m *Manager) readahead(f *fsim.File, off, end, first, last int64) {
+	if m.cfg.ReadaheadMax == 0 {
+		return
+	}
+	st := m.ra[f.Ino()]
+	if st == nil {
+		st = &raState{}
+		m.ra[f.Ino()] = st
+	}
+	nBlocks := last - first + 1
+	if off == st.nextByte || off == 0 && st.nextByte == 0 {
+		st.runBlocks += nBlocks
+	} else {
+		st.runBlocks = nBlocks
+	}
+	st.nextByte = end
+
+	depth := st.runBlocks
+	if depth > int64(m.cfg.ReadaheadMax) {
+		depth = int64(m.cfg.ReadaheadMax)
+	}
+	for b := last + 1; b <= last+depth && b < f.NBlocks(); b++ {
+		lb := f.LogicalBlock(b)
+		if m.cache.Get(lb) != nil {
+			continue
+		}
+		if m.startFetch(lb, cache.OriginReadahead, cache.NoHint) != fetchStarted {
+			return
+		}
+		m.stats.RAPrefetches++
+	}
+}
+
+// CachedRange reports whether every block of [off, off+n) in f is Valid —
+// the condition under which a *speculative* read can be given real data.
+func (m *Manager) CachedRange(f *fsim.File, off, n int64) bool {
+	first, last, ok := blockRange(f, off, n, int64(m.fs.BlockSize()))
+	if !ok {
+		return true
+	}
+	for b := first; b <= last; b++ {
+		blk := m.cache.Get(f.LogicalBlock(b))
+		if blk == nil || blk.State() != cache.Valid {
+			return false
+		}
+	}
+	return true
+}
+
+// FinishRun finalizes accounting at the end of a benchmark run.
+func (m *Manager) FinishRun() {
+	m.cache.FlushAccounting()
+}

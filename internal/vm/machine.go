@@ -1,0 +1,726 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spechint/internal/cow"
+)
+
+// Mode distinguishes the original thread from the speculating thread.
+type Mode int
+
+const (
+	// Normal execution: exceptions are program errors, stores are direct.
+	Normal Mode = iota
+	// Speculative execution: exceptions become signals that park the thread
+	// until the next restart, and memory is mediated by copy-on-write.
+	Speculative
+)
+
+// ThreadState is a thread's scheduling state.
+type ThreadState int
+
+const (
+	Ready ThreadState = iota
+	Blocked
+	Halted
+	Faulted
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Blocked:
+		return "blocked"
+	case Halted:
+		return "halted"
+	case Faulted:
+		return "faulted"
+	}
+	return "unknown"
+}
+
+// StopReason tells the scheduler why Run returned.
+type StopReason int
+
+const (
+	StopBudget StopReason = iota
+	StopBlocked
+	StopHalted
+	StopFault
+	StopError
+	StopYield
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopBlocked:
+		return "blocked"
+	case StopHalted:
+		return "halted"
+	case StopFault:
+		return "fault"
+	case StopError:
+		return "error"
+	case StopYield:
+		return "yield"
+	}
+	return "unknown"
+}
+
+// SysControl is the OS's verdict on a syscall.
+type SysControl int
+
+const (
+	// SysDone: the syscall completed; execution continues.
+	SysDone SysControl = iota
+	// SysBlock: the thread blocks; the OS will set the result register and
+	// wake it later.
+	SysBlock
+	// SysHalt: the thread exits.
+	SysHalt
+	// SysFault: the syscall is forbidden or failed fatally; in speculative
+	// mode the thread faults, in normal mode it is a program error.
+	SysFault
+	// SysYield: the syscall completed but a higher-priority thread became
+	// runnable; stop this slice so the scheduler can preempt.
+	SysYield
+)
+
+// OS services syscalls. Implementations read arguments from t.Regs[R1..R4]
+// and write results to t.Regs[R1].
+type OS interface {
+	Syscall(m *Machine, t *Thread, code int64) SysControl
+}
+
+// CostModel assigns cycle costs to instruction classes. The speculative
+// check costs are what produce the paper's dilation factor.
+type CostModel struct {
+	Default    int64 // ALU, moves, branches, plain loads/stores
+	Mul        int64
+	Div        int64
+	Syscall    int64 // kernel crossing
+	LoadCheck  int64 // extra cycles for a COW-checked load
+	StoreCheck int64 // extra cycles for a COW-checked store
+	CopyPer8B  int64 // cycles per 8 bytes when a region is first copied
+	Handler    int64 // extra cycles for the dynamic control-transfer handler
+	JumpTable  int64 // extra cycles for a recognized (static) jump-table jump
+}
+
+// DefaultCosts approximates the testbed processor.
+func DefaultCosts() CostModel {
+	return CostModel{
+		Default:    1,
+		Mul:        3,
+		Div:        20,
+		Syscall:    300,
+		LoadCheck:  20,
+		StoreCheck: 26,
+		CopyPer8B:  1,
+		Handler:    20,
+		JumpTable:  2,
+	}
+}
+
+// Config sizes the machine.
+type Config struct {
+	MemSize   int64 // data + heap + original stack
+	StackSize int64 // original stack region (top of MemSize); the
+	// speculating thread gets an equal-size private stack above MemSize
+	SpecHeapSize int64 // private sbrk arena for the speculating thread
+	PageBytes    int64 // page size for footprint accounting (8 KB on Alpha)
+	ReclaimGap   int64 // cycles of inactivity after which a page re-touch
+	// counts as a reclaim (models the LRU physical-map sweeper)
+	COWRegion int // copy-on-write region size (power of two)
+	Cost      CostModel
+}
+
+// DefaultConfig returns a machine sized for the benchmark programs.
+func DefaultConfig() Config {
+	return Config{
+		MemSize:      4 << 20,
+		StackSize:    256 << 10,
+		SpecHeapSize: 256 << 10,
+		PageBytes:    8192,
+		ReclaimGap:   4 << 20,
+		COWRegion:    1024,
+		Cost:         DefaultCosts(),
+	}
+}
+
+// PageStats models the paper's Table 6 paging numbers.
+type PageStats struct {
+	Touched  int64 // distinct pages ever accessed
+	Faults   int64 // first touches
+	Reclaims int64 // re-touches after a long idle gap (page was unmapped)
+}
+
+// Thread is one hardware context.
+type Thread struct {
+	Name  string
+	Mode  Mode
+	Regs  [NumRegs]int64
+	PC    int64
+	State ThreadState
+	Cow   *cow.Map // non-nil iff Mode == Speculative
+
+	// PendingCycles is a deferred charge the OS adds during a syscall (data
+	// copy costs, hint-log checks); the run loop consumes it before the
+	// next instruction.
+	PendingCycles int64
+
+	// Statistics.
+	Instrs   int64
+	Cycles   int64
+	Loads    int64
+	Stores   int64
+	Signals  int64 // speculative faults
+	ExitCode int64
+	Err      error // fatal error (Normal mode only)
+}
+
+// Wake unblocks a Blocked thread, storing result into R1 (the syscall
+// return register).
+func (t *Thread) Wake(result int64) {
+	if t.State != Blocked {
+		panic(fmt.Sprintf("vm: Wake of %s thread in state %v", t.Name, t.State))
+	}
+	t.Regs[R1] = result
+	t.State = Ready
+}
+
+// Machine executes a (possibly transformed) program.
+type Machine struct {
+	text []Instr
+	mem  []byte
+	prog *Program
+	cfg  Config
+	os   OS
+
+	brk     int64 // original thread's heap break
+	specBrk int64 // speculating thread's private break
+
+	pageLast []int64
+	pages    PageStats
+	clock    int64 // total cycles executed on this machine (all threads)
+
+	sliceUsed int64 // cycles consumed in the current Run slice (for OS clock sync)
+}
+
+// NewMachine loads prog into a fresh machine.
+func NewMachine(prog *Program, os OS, cfg Config) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MemSize <= 0 || cfg.StackSize <= 0 || cfg.StackSize*2 >= cfg.MemSize {
+		return nil, fmt.Errorf("vm: bad memory geometry mem=%d stack=%d", cfg.MemSize, cfg.StackSize)
+	}
+	if prog.DataSize > cfg.MemSize-cfg.StackSize {
+		return nil, fmt.Errorf("vm: data %d does not fit below the stack", prog.DataSize)
+	}
+	total := cfg.MemSize + cfg.StackSize + cfg.SpecHeapSize
+	m := &Machine{
+		text:     prog.Text,
+		mem:      make([]byte, total),
+		prog:     prog,
+		cfg:      cfg,
+		os:       os,
+		brk:      (prog.DataSize + 7) &^ 7,
+		pageLast: make([]int64, (total+cfg.PageBytes-1)/cfg.PageBytes),
+	}
+	m.specBrk = cfg.MemSize + cfg.StackSize
+	copy(m.mem, prog.Data)
+	for i := range m.pageLast {
+		m.pageLast[i] = -1
+	}
+	return m, nil
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *Program { return m.prog }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Mem exposes raw memory for loaders and tests.
+func (m *Machine) Mem() []byte { return m.mem }
+
+// Pages returns the paging statistics accumulated so far.
+func (m *Machine) Pages() PageStats { return m.pages }
+
+// SliceUsed returns the cycles consumed so far in the current Run slice.
+// OS syscall handlers use it to synchronize the virtual clock to the precise
+// moment of the syscall.
+func (m *Machine) SliceUsed() int64 { return m.sliceUsed }
+
+// NewThread creates a thread of the given mode at the program entry (Normal)
+// or parked (Speculative; the restart protocol will position it).
+func (m *Machine) NewThread(name string, mode Mode) *Thread {
+	t := &Thread{Name: name, Mode: mode, State: Ready}
+	if mode == Normal {
+		t.PC = m.prog.Entry
+		t.Regs[SP] = m.cfg.MemSize
+	} else {
+		t.Cow = cow.New(m.cfg.COWRegion)
+		t.Regs[SP] = m.cfg.MemSize + m.cfg.StackSize
+		t.State = Faulted // parked until first restart
+	}
+	return t
+}
+
+// SpecStackBounds returns the speculating thread's private stack region.
+func (m *Machine) SpecStackBounds() (lo, hi int64) {
+	return m.cfg.MemSize, m.cfg.MemSize + m.cfg.StackSize
+}
+
+// CopyStackForSpec copies the original thread's live stack [sp, MemSize)
+// into the speculative stack area and returns the speculative SP. This is
+// the restart protocol's stack copy (paper §3.2.2).
+func (m *Machine) CopyStackForSpec(origSP int64) int64 {
+	lo, _ := m.SpecStackBounds()
+	if origSP < m.cfg.MemSize-m.cfg.StackSize || origSP > m.cfg.MemSize {
+		panic(fmt.Sprintf("vm: original SP %d outside stack", origSP))
+	}
+	n := m.cfg.MemSize - origSP
+	copy(m.mem[lo+m.cfg.StackSize-n:lo+m.cfg.StackSize], m.mem[origSP:m.cfg.MemSize])
+	return lo + m.cfg.StackSize - n
+}
+
+// Sbrk implements the sbrk syscall for either thread. The speculating
+// thread allocates from a private arena (the paper added dedicated
+// allocation routines for it); increments are rounded up to 8 bytes.
+func (m *Machine) Sbrk(t *Thread, incr int64) int64 {
+	incr = (incr + 7) &^ 7
+	if t.Mode == Speculative {
+		old := m.specBrk
+		if incr < 0 || m.specBrk+incr > int64(len(m.mem)) {
+			return -1
+		}
+		m.specBrk += incr
+		return old
+	}
+	old := m.brk
+	if incr < 0 || m.brk+incr > m.cfg.MemSize-m.cfg.StackSize {
+		return -1
+	}
+	m.brk += incr
+	return old
+}
+
+// ResetSpecBrk rewinds the speculative arena (called at restart).
+func (m *Machine) ResetSpecBrk() { m.specBrk = m.cfg.MemSize + m.cfg.StackSize }
+
+// touchPage records a data access for footprint/fault/reclaim accounting.
+func (m *Machine) touchPage(addr int64) {
+	p := addr / m.cfg.PageBytes
+	last := m.pageLast[p]
+	switch {
+	case last < 0:
+		m.pages.Touched++
+		m.pages.Faults++
+	case m.clock-last > m.cfg.ReclaimGap:
+		m.pages.Reclaims++
+	}
+	m.pageLast[p] = m.clock
+}
+
+// validAddr reports whether [addr, addr+n) lies in memory.
+func (m *Machine) validAddr(addr, n int64) bool {
+	return addr >= 0 && n >= 0 && addr+n <= int64(len(m.mem))
+}
+
+// inSpecPrivate reports whether [addr, addr+n) lies in the speculating
+// thread's private area (its stack and sbrk arena). Unchecked stores in
+// shadow code are only legal there — SpecHint leaves stack-pointer-relative
+// stores unchecked because the speculative stack is private.
+func (m *Machine) inSpecPrivate(addr, n int64) bool {
+	return addr >= m.cfg.MemSize && addr+n <= int64(len(m.mem))
+}
+
+// ReadMem copies n bytes at addr out of the thread's view of memory
+// (honoring COW for speculative threads).
+func (m *Machine) ReadMem(t *Thread, addr, n int64) ([]byte, error) {
+	if !m.validAddr(addr, n) {
+		return nil, fmt.Errorf("vm: read [%d,+%d) out of range", addr, n)
+	}
+	buf := make([]byte, n)
+	if t.Mode == Speculative {
+		for i := int64(0); i < n; i++ {
+			buf[i] = t.Cow.LoadByte(m.mem, addr+i)
+		}
+	} else {
+		copy(buf, m.mem[addr:addr+n])
+	}
+	return buf, nil
+}
+
+// WriteMem stores p at addr through the thread's view of memory.
+func (m *Machine) WriteMem(t *Thread, addr int64, p []byte) error {
+	n := int64(len(p))
+	if !m.validAddr(addr, n) {
+		return fmt.Errorf("vm: write [%d,+%d) out of range", addr, n)
+	}
+	if t.Mode == Speculative && !m.inSpecPrivate(addr, n) {
+		for i, b := range p {
+			t.Cow.StoreByte(m.mem, addr+int64(i), b)
+		}
+		return nil
+	}
+	copy(m.mem[addr:], p)
+	return nil
+}
+
+// ReadCStr reads a NUL-terminated string from the thread's view of memory.
+func (m *Machine) ReadCStr(t *Thread, addr int64) (string, error) {
+	const maxLen = 4096
+	var out []byte
+	for i := int64(0); i < maxLen; i++ {
+		if !m.validAddr(addr+i, 1) {
+			return "", fmt.Errorf("vm: string at %d runs out of memory", addr)
+		}
+		var b byte
+		if t.Mode == Speculative {
+			b = t.Cow.LoadByte(m.mem, addr+i)
+		} else {
+			b = m.mem[addr+i]
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", fmt.Errorf("vm: unterminated string at %d", addr)
+}
+
+// fault marks a speculative exception (a signal in the paper's Table 6);
+// for normal threads it is a fatal program error.
+func (m *Machine) fault(t *Thread, format string, args ...any) StopReason {
+	if t.Mode == Speculative {
+		t.Signals++
+		t.State = Faulted
+		return StopFault
+	}
+	t.Err = fmt.Errorf(format, args...)
+	t.State = Halted
+	return StopError
+}
+
+// redirect maps an indirect-control-transfer target into the shadow text,
+// implementing SpecHint's dynamic handling routine. ok=false means the
+// target cannot be mapped and speculation must be prevented from leaving
+// the shadow code.
+func (m *Machine) redirect(target int64) (int64, bool) {
+	p := m.prog
+	if p.ShadowBase == 0 {
+		return target, false // untransformed program has no shadow
+	}
+	if target >= 0 && target < p.OrigTextLen {
+		return target + p.ShadowBase, true
+	}
+	if target >= p.ShadowBase && target < int64(len(p.Text)) {
+		return target, true
+	}
+	return 0, false
+}
+
+// Run executes t for at most budget cycles, returning the cycles actually
+// consumed and why execution stopped. Run panics if t is not Ready.
+func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
+	if t.State != Ready {
+		panic(fmt.Sprintf("vm: Run of %s thread in state %v", t.Name, t.State))
+	}
+	cost := m.cfg.Cost
+	var used int64
+
+	setReg := func(rd uint8, v int64) {
+		if rd != R0 {
+			t.Regs[rd] = v
+		}
+	}
+	finish := func(r StopReason) (int64, StopReason) {
+		t.Cycles += used
+		m.clock += used
+		m.sliceUsed = 0
+		return used, r
+	}
+	if t.PendingCycles > 0 {
+		used += t.PendingCycles
+		t.PendingCycles = 0
+		if used >= budget {
+			return finish(StopBudget)
+		}
+	}
+
+	for used < budget {
+		if t.PC < 0 || t.PC >= int64(len(m.text)) {
+			return finish(m.fault(t, "vm: PC %d outside text", t.PC))
+		}
+		ins := m.text[t.PC]
+		c := cost.Default
+		t.Instrs++
+		nextPC := t.PC + 1
+
+		switch ins.Op {
+		case NOP:
+
+		case ADD:
+			setReg(ins.Rd, t.Regs[ins.Rs1]+t.Regs[ins.Rs2])
+		case SUB:
+			setReg(ins.Rd, t.Regs[ins.Rs1]-t.Regs[ins.Rs2])
+		case MUL:
+			c = cost.Mul
+			setReg(ins.Rd, t.Regs[ins.Rs1]*t.Regs[ins.Rs2])
+		case DIV, MOD:
+			c = cost.Div
+			d := t.Regs[ins.Rs2]
+			if d == 0 {
+				used += c
+				return finish(m.fault(t, "vm: division by zero at PC %d", t.PC))
+			}
+			if ins.Op == DIV {
+				setReg(ins.Rd, t.Regs[ins.Rs1]/d)
+			} else {
+				setReg(ins.Rd, t.Regs[ins.Rs1]%d)
+			}
+		case AND:
+			setReg(ins.Rd, t.Regs[ins.Rs1]&t.Regs[ins.Rs2])
+		case OR:
+			setReg(ins.Rd, t.Regs[ins.Rs1]|t.Regs[ins.Rs2])
+		case XOR:
+			setReg(ins.Rd, t.Regs[ins.Rs1]^t.Regs[ins.Rs2])
+		case SHL:
+			setReg(ins.Rd, t.Regs[ins.Rs1]<<uint64(t.Regs[ins.Rs2]&63))
+		case SHR:
+			setReg(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(t.Regs[ins.Rs2]&63)))
+		case SLT:
+			v := int64(0)
+			if t.Regs[ins.Rs1] < t.Regs[ins.Rs2] {
+				v = 1
+			}
+			setReg(ins.Rd, v)
+
+		case ADDI:
+			setReg(ins.Rd, t.Regs[ins.Rs1]+ins.Imm)
+		case ANDI:
+			setReg(ins.Rd, t.Regs[ins.Rs1]&ins.Imm)
+		case ORI:
+			setReg(ins.Rd, t.Regs[ins.Rs1]|ins.Imm)
+		case XORI:
+			setReg(ins.Rd, t.Regs[ins.Rs1]^ins.Imm)
+		case SHLI:
+			setReg(ins.Rd, t.Regs[ins.Rs1]<<uint64(ins.Imm&63))
+		case SHRI:
+			setReg(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(ins.Imm&63)))
+		case SLTI:
+			v := int64(0)
+			if t.Regs[ins.Rs1] < ins.Imm {
+				v = 1
+			}
+			setReg(ins.Rd, v)
+		case MOVI:
+			setReg(ins.Rd, ins.Imm)
+
+		case LDB, LDW:
+			t.Loads++
+			addr := t.Regs[ins.Rs1] + ins.Imm
+			size := int64(1)
+			if ins.Op == LDW {
+				size = 8
+			}
+			if !m.validAddr(addr, size) {
+				used += c
+				return finish(m.fault(t, "vm: load at %d out of range (PC %d)", addr, t.PC))
+			}
+			m.touchPage(addr)
+			if ins.Op == LDB {
+				setReg(ins.Rd, int64(m.mem[addr]))
+			} else {
+				setReg(ins.Rd, int64(binary.LittleEndian.Uint64(m.mem[addr:])))
+			}
+
+		case LDBS, LDWS:
+			t.Loads++
+			c += cost.LoadCheck
+			addr := t.Regs[ins.Rs1] + ins.Imm
+			size := int64(1)
+			if ins.Op == LDWS {
+				size = 8
+			}
+			if !m.validAddr(addr, size) {
+				used += c
+				return finish(m.fault(t, "vm: spec load at %d out of range (PC %d)", addr, t.PC))
+			}
+			m.touchPage(addr)
+			if ins.Op == LDBS {
+				setReg(ins.Rd, int64(t.Cow.LoadByte(m.mem, addr)))
+			} else {
+				setReg(ins.Rd, t.Cow.LoadWord(m.mem, addr))
+			}
+
+		case STB, STW:
+			t.Stores++
+			addr := t.Regs[ins.Rs1] + ins.Imm
+			size := int64(1)
+			if ins.Op == STW {
+				size = 8
+			}
+			if !m.validAddr(addr, size) {
+				used += c
+				return finish(m.fault(t, "vm: store at %d out of range (PC %d)", addr, t.PC))
+			}
+			if t.Mode == Speculative && !m.inSpecPrivate(addr, size) {
+				// Shadow code must never store to shared memory unchecked;
+				// reaching here means speculation computed a wild address
+				// from stale data. Fault, as the SFI checks would.
+				used += c
+				return finish(m.fault(t, "vm: unchecked spec store at %d (PC %d)", addr, t.PC))
+			}
+			m.touchPage(addr)
+			if ins.Op == STB {
+				m.mem[addr] = byte(t.Regs[ins.Rs2])
+			} else {
+				binary.LittleEndian.PutUint64(m.mem[addr:], uint64(t.Regs[ins.Rs2]))
+			}
+
+		case STBS, STWS:
+			t.Stores++
+			c += cost.StoreCheck
+			addr := t.Regs[ins.Rs1] + ins.Imm
+			size := int64(1)
+			if ins.Op == STWS {
+				size = 8
+			}
+			if !m.validAddr(addr, size) {
+				used += c
+				return finish(m.fault(t, "vm: spec store at %d out of range (PC %d)", addr, t.PC))
+			}
+			m.touchPage(addr)
+			var fresh int
+			if ins.Op == STBS {
+				if t.Cow.StoreByte(m.mem, addr, byte(t.Regs[ins.Rs2])) {
+					fresh = 1
+				}
+			} else {
+				fresh = t.Cow.StoreWord(m.mem, addr, t.Regs[ins.Rs2])
+			}
+			c += int64(fresh) * cost.CopyPer8B * int64(m.cfg.COWRegion) / 8
+
+		case BEQ:
+			if t.Regs[ins.Rs1] == t.Regs[ins.Rs2] {
+				nextPC = ins.Imm
+			}
+		case BNE:
+			if t.Regs[ins.Rs1] != t.Regs[ins.Rs2] {
+				nextPC = ins.Imm
+			}
+		case BLT:
+			if t.Regs[ins.Rs1] < t.Regs[ins.Rs2] {
+				nextPC = ins.Imm
+			}
+		case BGE:
+			if t.Regs[ins.Rs1] >= t.Regs[ins.Rs2] {
+				nextPC = ins.Imm
+			}
+		case JMP:
+			nextPC = ins.Imm
+		case CALL:
+			setReg(RA, t.PC+1)
+			nextPC = ins.Imm
+		case JR:
+			nextPC = t.Regs[ins.Rs1]
+		case CALLR:
+			setReg(RA, t.PC+1)
+			nextPC = t.Regs[ins.Rs1]
+		case RET:
+			nextPC = t.Regs[RA]
+
+		case JRH, CALLRH, RETH:
+			c += cost.Handler
+			var target int64
+			switch ins.Op {
+			case RETH:
+				target = t.Regs[RA]
+			default:
+				target = t.Regs[ins.Rs1]
+			}
+			mapped, ok := m.redirect(target)
+			if !ok {
+				// The handling routine prevents the speculating thread from
+				// leaving the shadow code: halt this speculation.
+				used += c
+				return finish(m.fault(t, "vm: unmappable indirect target %d (PC %d)", target, t.PC))
+			}
+			if ins.Op == CALLRH {
+				setReg(RA, t.PC+1)
+			}
+			nextPC = mapped
+
+		case JTR:
+			c += cost.JumpTable
+			target := t.Regs[ins.Rs1]
+			mapped, ok := m.redirect(target)
+			if !ok {
+				used += c
+				return finish(m.fault(t, "vm: jump-table target %d unmappable (PC %d)", target, t.PC))
+			}
+			nextPC = mapped
+
+		case SYSCALL:
+			c = cost.Syscall
+			t.PC = nextPC // resume after the syscall on wake
+			used += c
+			m.sliceUsed = used
+			verdict := m.os.Syscall(m, t, ins.Imm)
+			if t.PendingCycles > 0 {
+				used += t.PendingCycles
+				t.PendingCycles = 0
+			}
+			switch verdict {
+			case SysDone:
+				if used >= budget {
+					return finish(StopBudget)
+				}
+				continue
+			case SysYield:
+				return finish(StopYield)
+			case SysBlock:
+				t.State = Blocked
+				return finish(StopBlocked)
+			case SysHalt:
+				t.State = Halted
+				return finish(StopHalted)
+			case SysFault:
+				return finish(m.fault(t, "vm: forbidden syscall %s at PC %d", SyscallName(ins.Imm), t.PC-1))
+			}
+
+		default:
+			used += c
+			return finish(m.fault(t, "vm: illegal opcode %v at PC %d", ins.Op, t.PC))
+		}
+
+		// Stack-pointer discipline: SpecHint places dynamic checks on
+		// SP-modifying instructions so the speculative stack stays private;
+		// for normal threads this doubles as overflow detection.
+		if ins.Rd == SP && ins.Op != NOP && !ins.Op.IsStore() {
+			sp := t.Regs[SP]
+			if t.Mode == Speculative {
+				lo, hi := m.SpecStackBounds()
+				if sp < lo || sp > hi {
+					used += c
+					return finish(m.fault(t, "vm: spec SP %d out of bounds", sp))
+				}
+			} else if sp < m.cfg.MemSize-m.cfg.StackSize || sp > m.cfg.MemSize {
+				used += c
+				return finish(m.fault(t, "vm: stack overflow, SP %d", sp))
+			}
+		}
+
+		t.PC = nextPC
+		used += c
+	}
+	return finish(StopBudget)
+}
