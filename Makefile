@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet lint ci bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs the shadow-text verifier over every benchmark app's transformed
+# binary; a nonzero exit means a transform invariant does not hold.
+lint:
+	$(GO) run ./cmd/spechint -app all -lint
+	$(GO) run ./cmd/spechint -app all -lint -no-stack-opt
+
+ci: vet build race lint
+
+bench:
+	$(GO) test -v ./internal/bench/...

@@ -1,12 +1,17 @@
 // Command spechint is the binary-modification tool as a CLI: it transforms
 // a VM program (an assembly file, or one of the built-in benchmark
 // applications) to perform speculative execution for I/O hint generation,
-// and reports the paper's Table 3 statistics.
+// and reports the paper's Table 3 statistics. It can also run the static
+// analyses on their own: -analyze classifies every read call site by how
+// much of the file access pattern is statically computable, and -lint
+// verifies the transform invariants on the generated shadow text.
 //
 // Usage:
 //
 //	spechint -file prog.s [-dis] [-no-stack-opt] [-keep-output]
 //	spechint -app agrep|gnuld|xds [-dis]
+//	spechint -app all -lint          # verify the shadow text of every app
+//	spechint -app xds -analyze       # static hintability report
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"spechint/internal/analysis"
 	"spechint/internal/apps"
 	"spechint/internal/asm"
 	"spechint/internal/spechint"
@@ -23,22 +29,35 @@ import (
 func main() {
 	var (
 		file       = flag.String("file", "", "assembly source file to transform")
-		app        = flag.String("app", "", "built-in benchmark to transform: agrep, gnuld, or xds")
+		app        = flag.String("app", "", "built-in benchmark to transform: agrep, gnuld, xds, or all")
 		dis        = flag.Bool("dis", false, "print the disassembly of the transformed program")
 		noStackOpt = flag.Bool("no-stack-opt", false, "disable the stack-copy optimization (check SP-relative accesses too)")
 		keepOutput = flag.Bool("keep-output", false, "keep output-routine calls in the shadow code")
+		analyze    = flag.Bool("analyze", false, "run the static hintability analysis instead of reporting transform stats")
+		lint       = flag.Bool("lint", false, "verify the transform invariants on the shadow text; nonzero exit on findings")
 	)
 	flag.Parse()
 
-	var prog *vm.Program
-	var err error
+	opt := spechint.DefaultOptions()
+	opt.StackCopyOptimization = !*noStackOpt
+	opt.RemoveOutputRoutines = !*keepOutput
+
+	var progs []named
 	switch {
 	case *file != "":
-		src, rerr := os.ReadFile(*file)
-		if rerr != nil {
-			fail(rerr)
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
 		}
-		prog, err = asm.Assemble(string(src))
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		progs = append(progs, named{*file, prog})
+	case *app == "all":
+		for _, a := range []apps.App{apps.Agrep, apps.Gnuld, apps.XDataSlice, apps.Postgres} {
+			progs = append(progs, named{a.String(), buildApp(a)})
+		}
 	case *app != "":
 		var a apps.App
 		switch *app {
@@ -48,45 +67,92 @@ func main() {
 			a = apps.Gnuld
 		case "xds", "xdataslice":
 			a = apps.XDataSlice
+		case "postgres":
+			a = apps.Postgres
 		default:
 			fail(fmt.Errorf("unknown app %q", *app))
 		}
-		var bundle *apps.Bundle
-		bundle, err = apps.Build(a, apps.FullScale())
-		if err == nil {
-			prog = bundle.Original
-		}
+		progs = append(progs, named{a.String(), buildApp(a)})
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	bad := false
+	for _, np := range progs {
+		if len(progs) > 1 {
+			fmt.Printf("== %s ==\n", np.name)
+		}
+		if !run(np.prog, opt, *analyze, *lint, *dis) {
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+type named struct {
+	name string
+	prog *vm.Program
+}
+
+func buildApp(a apps.App) *vm.Program {
+	bundle, err := apps.Build(a, apps.FullScale())
 	if err != nil {
 		fail(err)
 	}
+	return bundle.Original
+}
 
-	opt := spechint.DefaultOptions()
-	opt.StackCopyOptimization = !*noStackOpt
-	opt.RemoveOutputRoutines = !*keepOutput
-
-	out, st, err := spechint.Transform(prog, opt)
-	if err != nil {
-		fail(err)
+// run processes one program; it returns false when lint found violations.
+func run(prog *vm.Program, opt spechint.Options, analyze, lint, dis bool) bool {
+	if analyze {
+		report, err := analysis.Classify(prog, analysis.DefaultConfig())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.String())
+		if lint {
+			fmt.Println()
+		}
 	}
 
-	fmt.Printf("transformed in %v\n", st.Elapsed)
-	fmt.Printf("  text:            %d -> %d instructions (%d -> %d bytes, +%.0f%%)\n",
-		st.OrigInstrs, st.TotalInstrs, st.OrigBytes, st.TotalBytes, st.SizeIncreasePct())
-	fmt.Printf("  COW checks:      %d inserted, %d SP-relative accesses skipped\n",
-		st.ChecksAdded, st.StackSkipped)
-	fmt.Printf("  control flow:    %d static redirects, %d dynamic-handler sites, %d recognized jump tables\n",
-		st.StaticJumps, st.DynamicJumps, st.TablesStatic)
-	fmt.Printf("  output routines: %d removed from shadow code\n", st.OutputCalls)
-	fmt.Printf("  hint sites:      %d read calls become hint generators\n", st.HintSites)
-
-	if *dis {
-		fmt.Println()
-		fmt.Print(asm.Disassemble(out))
+	if !analyze && !lint {
+		out, st, err := spechint.Transform(prog, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("transformed in %v\n", st.Elapsed)
+		fmt.Printf("  text:            %d -> %d instructions (%d -> %d bytes, +%.0f%%)\n",
+			st.OrigInstrs, st.TotalInstrs, st.OrigBytes, st.TotalBytes, st.SizeIncreasePct())
+		fmt.Printf("  COW checks:      %d inserted, %d SP-relative accesses skipped\n",
+			st.ChecksAdded, st.StackSkipped)
+		fmt.Printf("  control flow:    %d static redirects, %d dynamic-handler sites, %d recognized jump tables\n",
+			st.StaticJumps, st.DynamicJumps, st.TablesStatic)
+		fmt.Printf("  output routines: %d removed from shadow code\n", st.OutputCalls)
+		fmt.Printf("  hint sites:      %d read calls become hint generators\n", st.HintSites)
+		if dis {
+			fmt.Println()
+			fmt.Print(asm.Disassemble(out))
+		}
+		return true
 	}
+
+	if lint {
+		out, _, err := spechint.Transform(prog, opt)
+		if err != nil {
+			fail(err)
+		}
+		findings := analysis.Lint(out, opt)
+		fmt.Print(analysis.FormatFindings(out, findings))
+		if dis {
+			fmt.Println()
+			fmt.Print(asm.Disassemble(out))
+		}
+		return len(findings) == 0
+	}
+	return true
 }
 
 func fail(err error) {

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"spechint/internal/apps"
+)
+
+// The classifier must reproduce the paper's per-application story (§4.1-§4.3):
+// Agrep's accesses are fully determined by argv, XDataSlice needs exactly one
+// header read, and Gnuld's later passes chase pointers through file data.
+
+func classifyApp(t *testing.T, a apps.App) *Report {
+	t.Helper()
+	b, err := apps.Build(a, apps.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Classify(b.Original, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestClassifyAgrep(t *testing.T) {
+	r := classifyApp(t, apps.Agrep)
+	if len(r.Sites) == 0 {
+		t.Fatal("no read sites found")
+	}
+	for _, s := range r.Sites {
+		if s.Class != ClassArgv {
+			t.Errorf("agrep site at %d is %v, want argv-determined", s.PC, s.Class)
+		}
+	}
+	if f := r.HintableSiteFraction(); f != 1.0 {
+		t.Errorf("agrep hintable fraction = %v, want 1.0", f)
+	}
+}
+
+func TestClassifyXDataSlice(t *testing.T) {
+	r := classifyApp(t, apps.XDataSlice)
+	c := r.ClassCounts()
+	if c[ClassData] != 0 {
+		t.Errorf("xds has %d data-dependent sites, want 0", c[ClassData])
+	}
+	if c[ClassHeader] == 0 {
+		t.Error("xds block reads should be header-determined (offsets come from the header read)")
+	}
+	if c[ClassArgv] == 0 {
+		t.Error("the xds header read itself should be argv-determined")
+	}
+}
+
+func TestClassifyGnuld(t *testing.T) {
+	r := classifyApp(t, apps.Gnuld)
+	c := r.ClassCounts()
+	if c[ClassArgv] == 0 {
+		t.Error("gnuld's per-file header reads should be argv-determined")
+	}
+	if c[ClassHeader] == 0 {
+		t.Error("gnuld's section-table reads should be header-determined")
+	}
+	if c[ClassData] == 0 {
+		t.Error("gnuld's symbol/debug/pass-2 reads should be data-dependent")
+	}
+	// The defining property: a strict majority of gnuld's sites depend on
+	// file data (the paper's reason its coverage tops out near half).
+	if 2*c[ClassData] <= len(r.Sites) {
+		t.Errorf("gnuld data-dependent sites = %d of %d, want a majority", c[ClassData], len(r.Sites))
+	}
+}
+
+func TestClassifyPostgres(t *testing.T) {
+	r := classifyApp(t, apps.Postgres)
+	if len(r.Sites) == 0 {
+		t.Fatal("no read sites found")
+	}
+	for _, s := range r.Sites {
+		if s.Class != ClassData {
+			t.Errorf("postgres site at %d is %v, want data-dependent (probe offsets come from tuples)", s.PC, s.Class)
+		}
+	}
+}
+
+// The per-app static hintability ordering mirrors the paper's Table 4:
+// XDataSlice > Agrep > Gnuld.
+func TestHintableOrderingAcrossApps(t *testing.T) {
+	xds := classifyApp(t, apps.XDataSlice).HintableSiteFraction()
+	agrep := classifyApp(t, apps.Agrep).HintableSiteFraction()
+	gnuld := classifyApp(t, apps.Gnuld).HintableSiteFraction()
+	if !(xds >= agrep && agrep > gnuld) {
+		t.Errorf("hintable fractions xds=%.2f agrep=%.2f gnuld=%.2f, want xds >= agrep > gnuld", xds, agrep, gnuld)
+	}
+}
+
+func TestClassifyRejectsTransformed(t *testing.T) {
+	b, err := apps.Build(apps.Agrep, apps.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Classify(b.Transformed, DefaultConfig()); err == nil {
+		t.Fatal("classify accepted a transformed program")
+	}
+}
+
+func TestReportStringMentionsEverySite(t *testing.T) {
+	r := classifyApp(t, apps.Gnuld)
+	s := r.String()
+	for _, site := range r.Sites {
+		if !strings.Contains(s, site.Class.String()) {
+			t.Fatalf("report missing class %v:\n%s", site.Class, s)
+		}
+	}
+	if !strings.Contains(s, "read sites:") {
+		t.Fatalf("report missing summary:\n%s", s)
+	}
+}

@@ -1,0 +1,21 @@
+package analysis
+
+import (
+	"testing"
+
+	"spechint/internal/apps"
+)
+
+// buildAllBundles prepares all four benchmark apps at test scale.
+func buildAllBundles(t *testing.T) []*apps.Bundle {
+	t.Helper()
+	var out []*apps.Bundle
+	for _, a := range []apps.App{apps.Agrep, apps.Gnuld, apps.XDataSlice, apps.Postgres} {
+		b, err := apps.Build(a, apps.TestScale())
+		if err != nil {
+			t.Fatalf("build %v: %v", a, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}

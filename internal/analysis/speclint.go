@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"spechint/internal/asm"
+	"spechint/internal/spechint"
+	"spechint/internal/vm"
+)
+
+// speclint verifies the SpecHint transform invariants on a transformed
+// program's shadow text. Each check corresponds to a guarantee the paper's
+// tool established statically (§3.3); a violation means speculation could
+// corrupt the original thread's state or escape the shadow, the two failure
+// modes the transform exists to prevent.
+
+// LintCheck identifies one invariant.
+type LintCheck string
+
+const (
+	// LintShape: the program has a well-formed shadow: OrigTextLen == n,
+	// ShadowBase == n, len(Text) == 2n, the entry in original text, and
+	// every original symbol carries its $shadow twin.
+	LintShape LintCheck = "shadow-shape"
+	// LintOrigText: the original text is instruction-for-instruction free of
+	// speculative opcodes — the original thread's path carries zero added
+	// instructions (§3.1).
+	LintOrigText LintCheck = "original-text-modified"
+	// LintUncheckedMem: every load/store in the shadow is the checked
+	// variant, except SP-relative accesses under the stack-copy
+	// optimization (§3.2.2, footnote 3).
+	LintUncheckedMem LintCheck = "unchecked-memory"
+	// LintEscape: every statically resolved transfer in the shadow lands
+	// inside the shadow text (§3.3: targets are rebased).
+	LintEscape LintCheck = "shadow-escape"
+	// LintIndirect: no raw indirect transfer survives in the shadow; all are
+	// routed through the handling routine or the checked jump-table op.
+	LintIndirect LintCheck = "unrouted-indirect"
+	// LintJumpTable: a jtr references a registered absolute-format table
+	// whose entries stay inside text, or a recognized table jump was left
+	// unrewritten (§3.2.1).
+	LintJumpTable LintCheck = "jump-table"
+	// LintOutput: no output-routine call survives in the shadow when the
+	// transform was asked to remove them (§3.3: printf, fprintf, flsbuf).
+	LintOutput LintCheck = "surviving-output"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	Check LintCheck
+	PC    int64 // offending instruction (shadow PC where applicable)
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s at pc %d: %s", f.Check, f.PC, f.Msg)
+}
+
+// Lint checks every transform invariant on p, which must be the output of
+// spechint.Transform under opt. A nil result means the shadow text is
+// verified. Lint is pure shadow-text analysis: it never executes p.
+func Lint(p *vm.Program, opt spechint.Options) []Finding {
+	var fs []Finding
+	add := func(check LintCheck, pc int64, format string, args ...any) {
+		fs = append(fs, Finding{Check: check, PC: pc, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	n := p.OrigTextLen
+	if n == 0 || p.ShadowBase == 0 {
+		add(LintShape, 0, "program is not transformed (OrigTextLen=%d ShadowBase=%d)", n, p.ShadowBase)
+		return fs
+	}
+	if p.ShadowBase != n {
+		add(LintShape, n, "ShadowBase %d != OrigTextLen %d", p.ShadowBase, n)
+	}
+	if int64(len(p.Text)) != 2*n {
+		add(LintShape, int64(len(p.Text)), "text is %d instructions, want 2×%d", len(p.Text), n)
+		return fs // shadow indexing below would be meaningless
+	}
+	if p.Entry >= n {
+		add(LintShape, p.Entry, "entry %d inside shadow text", p.Entry)
+	}
+	for name, addr := range p.Symbols {
+		if strings.HasSuffix(name, "$shadow") {
+			continue
+		}
+		if got, ok := p.Symbols[name+"$shadow"]; !ok {
+			add(LintShape, addr, "symbol %q has no $shadow twin", name)
+		} else if got != addr+n {
+			add(LintShape, addr, "symbol %q$shadow at %d, want %d", name, got, addr+n)
+		}
+	}
+
+	// Original text: untouched by the transform.
+	for pc := int64(0); pc < n; pc++ {
+		if op := p.Text[pc].Op; op.IsSpeculative() {
+			add(LintOrigText, pc, "speculative op %v in original text", op)
+		}
+	}
+
+	inShadow := func(pc int64) bool { return pc >= n && pc < 2*n }
+
+	for pc := n; pc < 2*n; pc++ {
+		ins := p.Text[pc]
+		switch {
+		case ins.Op == vm.LDB || ins.Op == vm.LDW || ins.Op == vm.STB || ins.Op == vm.STW:
+			if opt.StackCopyOptimization && ins.Rs1 == vm.SP {
+				break // private speculative stack: unchecked by design
+			}
+			kind := "load"
+			if ins.Op.IsStore() {
+				kind = "store"
+			}
+			add(LintUncheckedMem, pc, "unchecked %s %v in shadow (base r%d)", kind, ins, ins.Rs1)
+
+		case ins.Op.IsBranch() || ins.Op == vm.JMP || ins.Op == vm.CALL:
+			if !inShadow(ins.Imm) {
+				where := "outside text"
+				if ins.Imm >= 0 && ins.Imm < n {
+					where = "in original text"
+				}
+				add(LintEscape, pc, "%v target %d lands %s", ins.Op, ins.Imm, where)
+			}
+
+		case ins.Op == vm.JR || ins.Op == vm.CALLR || ins.Op == vm.RET:
+			if ins.Op == vm.JR {
+				if _, ok := recognizeJumpTable(p, pc, ins.Rs1, maxLookback(opt)); ok {
+					add(LintJumpTable, pc, "recognized jump-table jump left unrewritten (jr r%d)", ins.Rs1)
+					break
+				}
+			}
+			add(LintIndirect, pc, "raw %v in shadow; must route through the handling routine", ins.Op)
+
+		case ins.Op == vm.JTR:
+			ti := int(ins.Imm)
+			if ti < 0 || ti >= len(p.JumpTables) {
+				add(LintJumpTable, pc, "jtr references table %d of %d", ti, len(p.JumpTables))
+				break
+			}
+			jt := p.JumpTables[ti]
+			if jt.Format != vm.JTAbsolute {
+				add(LintJumpTable, pc, "jtr through unrecognized-format table %d", ti)
+				break
+			}
+			for e := int64(0); e < jt.Len; e++ {
+				off := jt.Addr + e*8
+				if off+8 > int64(len(p.Data)) {
+					add(LintJumpTable, pc, "table %d entry %d outside initialized data", ti, e)
+					continue
+				}
+				t := int64(0)
+				for b := int64(0); b < 8; b++ {
+					t |= int64(p.Data[off+b]) << (8 * b)
+				}
+				// Entries hold original-text addresses; the dynamic handler
+				// maps them into the shadow. Shadow addresses are tolerated.
+				if t < 0 || t >= 2*n {
+					add(LintJumpTable, pc, "table %d entry %d target %d outside text", ti, e, t)
+				}
+			}
+
+		case ins.Op == vm.SYSCALL:
+			if opt.RemoveOutputRoutines && (ins.Imm == vm.SysPrint || ins.Imm == vm.SysPrintInt) {
+				add(LintOutput, pc, "output call %s survives in shadow", vm.SyscallName(ins.Imm))
+			}
+		}
+	}
+	return fs
+}
+
+func maxLookback(opt spechint.Options) int {
+	if opt.JumpTableLookback > 0 {
+		return opt.JumpTableLookback
+	}
+	return spechint.DefaultOptions().JumpTableLookback
+}
+
+// FormatFindings renders findings with label-resolved PCs and disassembly
+// context, ready for terminal output.
+func FormatFindings(p *vm.Program, fs []Finding) string {
+	if len(fs) == 0 {
+		return "speclint: ok — all transform invariants hold\n"
+	}
+	loc := asm.NewLocator(p)
+	var b strings.Builder
+	fmt.Fprintf(&b, "speclint: %d finding(s)\n", len(fs))
+	for _, f := range fs {
+		fmt.Fprintf(&b, "[%s] pc %d (%s): %s\n", f.Check, f.PC, loc.Locate(f.PC), f.Msg)
+		if f.PC >= 0 && f.PC < int64(len(p.Text)) {
+			b.WriteString(asm.Context(p, f.PC, 2))
+		}
+	}
+	return b.String()
+}

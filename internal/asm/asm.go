@@ -30,6 +30,7 @@ package asm
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -667,13 +668,71 @@ func (a *assembler) resolve() error {
 	return nil
 }
 
+// Locator resolves text PCs to "label+offset" strings using a program's
+// symbol table. SpecHint adds a "$shadow" twin for every original label, so
+// shadow PCs resolve to their shadow symbols naturally. Analysis reports and
+// speclint findings use it so a finding reads "scan+2", not "PC 83".
+type Locator struct {
+	addrs []int64
+	names []string
+}
+
+// NewLocator builds a locator over p's text symbols. It is safe to call on a
+// program with no symbol table; Locate then falls back to bare PCs.
+func NewLocator(p *vm.Program) *Locator {
+	l := &Locator{}
+	for name, addr := range p.Symbols {
+		l.addrs = append(l.addrs, addr)
+		l.names = append(l.names, name)
+	}
+	// Sort by address, breaking ties by name so resolution is deterministic.
+	sort.Sort(locatorSort{l})
+	return l
+}
+
+type locatorSort struct{ l *Locator }
+
+func (s locatorSort) Len() int { return len(s.l.addrs) }
+func (s locatorSort) Less(i, j int) bool {
+	if s.l.addrs[i] != s.l.addrs[j] {
+		return s.l.addrs[i] < s.l.addrs[j]
+	}
+	return s.l.names[i] < s.l.names[j]
+}
+func (s locatorSort) Swap(i, j int) {
+	s.l.addrs[i], s.l.addrs[j] = s.l.addrs[j], s.l.addrs[i]
+	s.l.names[i], s.l.names[j] = s.l.names[j], s.l.names[i]
+}
+
+// Locate returns "label", "label+off", or the bare PC when no label at or
+// before pc exists.
+func (l *Locator) Locate(pc int64) string {
+	i := sort.Search(len(l.addrs), func(i int) bool { return l.addrs[i] > pc })
+	if i == 0 {
+		return fmt.Sprintf("%d", pc)
+	}
+	// Among symbols at the same address, prefer the first (alphabetical);
+	// among addresses <= pc, take the closest.
+	base := l.addrs[i-1]
+	j := sort.Search(len(l.addrs), func(i int) bool { return l.addrs[i] >= base })
+	if off := pc - base; off != 0 {
+		return fmt.Sprintf("%s+%d", l.names[j], off)
+	}
+	return l.names[j]
+}
+
 // Disassemble renders a program's text section, annotating labels, the
-// shadow boundary, and syscall names. Useful for debugging transforms.
+// shadow boundary, syscall names, and control-transfer targets. Useful for
+// debugging transforms.
 func Disassemble(p *vm.Program) string {
 	labels := make(map[int64][]string)
 	for name, addr := range p.Symbols {
 		labels[addr] = append(labels[addr], name)
 	}
+	for _, ls := range labels {
+		sort.Strings(ls)
+	}
+	loc := NewLocator(p)
 	var b strings.Builder
 	for i, ins := range p.Text {
 		if p.ShadowBase > 0 && int64(i) == p.ShadowBase {
@@ -683,8 +742,38 @@ func Disassemble(p *vm.Program) string {
 			fmt.Fprintf(&b, "%s:\n", l)
 		}
 		fmt.Fprintf(&b, "%6d\t%s", i, ins)
-		if ins.Op == vm.SYSCALL {
+		switch {
+		case ins.Op == vm.SYSCALL:
 			fmt.Fprintf(&b, "\t; %s", vm.SyscallName(ins.Imm))
+		case ins.Op.IsBranch() || ins.Op == vm.JMP || ins.Op == vm.CALL:
+			fmt.Fprintf(&b, "\t; -> %s", loc.Locate(ins.Imm))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Context renders the instructions around pc (pc±radius) with label and
+// target annotations, marking pc itself. speclint findings embed it so a
+// violation shows its surrounding shadow code.
+func Context(p *vm.Program, pc, radius int64) string {
+	lo, hi := pc-radius, pc+radius+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(len(p.Text)) {
+		hi = int64(len(p.Text))
+	}
+	loc := NewLocator(p)
+	var b strings.Builder
+	for i := lo; i < hi; i++ {
+		mark := "  "
+		if i == pc {
+			mark = "=>"
+		}
+		fmt.Fprintf(&b, "  %s %6d  %-28s ; %s", mark, i, p.Text[i].String(), loc.Locate(i))
+		if t := p.Text[i]; t.Op.IsBranch() || t.Op == vm.JMP || t.Op == vm.CALL {
+			fmt.Fprintf(&b, " -> %s", loc.Locate(t.Imm))
 		}
 		b.WriteByte('\n')
 	}

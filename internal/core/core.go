@@ -208,11 +208,24 @@ type RunStats struct {
 	ReadGaps []int64 // original-thread cycles between successive reads
 	HintGaps []int64 // speculating-thread cycles between successive hints
 
+	// ReadSites breaks the read counters down by call-site PC (the address
+	// of the read syscall instruction in the original text), letting the
+	// static classifier's per-site predictions be weighed against what the
+	// run actually did.
+	ReadSites map[int64]*ReadSiteStats
+
 	Tip    tip.Stats
 	Cache  cache.Stats
 	Disk   disk.Stats
 	Pages  vm.PageStats
 	Output string
+}
+
+// ReadSiteStats counts one read call site's dynamic behavior.
+type ReadSiteStats struct {
+	Calls     int64 // read calls executed at this site
+	DataCalls int64 // calls that returned data (the rest are EOF probes)
+	Hinted    int64 // data-returning calls that arrived hinted
 }
 
 // Seconds converts the elapsed virtual time to testbed seconds.

@@ -158,6 +158,19 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	}
 
 	s.stats.ReadCalls++
+	sitePC := t.PC - 1 // Run advanced past the syscall instruction
+	if s.stats.ReadSites == nil {
+		s.stats.ReadSites = make(map[int64]*ReadSiteStats)
+	}
+	site := s.stats.ReadSites[sitePC]
+	if site == nil {
+		site = &ReadSiteStats{}
+		s.stats.ReadSites[sitePC] = site
+	}
+	site.Calls++
+	if n > 0 {
+		site.DataCalls++
+	}
 	now := s.busyNow(t)
 	if s.sawOrigRead {
 		s.stats.ReadGaps = append(s.stats.ReadGaps, now-s.lastOrigReadAt)
@@ -191,6 +204,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	}
 	if hinted {
 		s.stats.HintedReads++
+		site.Hinted++
 	}
 	s.trace(EvRead, "%s off=%d len=%d hinted=%v", file.Name, off, reqLen, hinted)
 

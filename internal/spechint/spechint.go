@@ -152,8 +152,8 @@ func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
 				}
 				return 0, false // loaded from elsewhere
 			}
-			// A redefinition of the register by any other op breaks the idiom.
-			if ins.Rd == reg && ins.Op != vm.NOP && !ins.Op.IsStore() {
+			// Any other redefinition of the register breaks the idiom.
+			if rd, writes := ins.WritesReg(); writes && rd == reg {
 				return 0, false
 			}
 		}
@@ -162,8 +162,8 @@ func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
 
 	for i := int64(0); i < n; i++ {
 		ins := p.Text[i] // copy
-		switch ins.Op {
-		case vm.LDB, vm.LDW:
+		switch {
+		case ins.Op.IsLoad():
 			if opt.StackCopyOptimization && ins.Rs1 == vm.SP {
 				st.StackSkipped++
 				break
@@ -175,7 +175,7 @@ func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
 			}
 			st.ChecksAdded++
 
-		case vm.STB, vm.STW:
+		case ins.Op.IsStore():
 			if opt.StackCopyOptimization && ins.Rs1 == vm.SP {
 				st.StackSkipped++
 				break
@@ -187,11 +187,12 @@ func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
 			}
 			st.ChecksAdded++
 
-		case vm.BEQ, vm.BNE, vm.BLT, vm.BGE, vm.JMP, vm.CALL:
+		case ins.Op.IsBranch(), ins.Op == vm.JMP, ins.Op == vm.CALL:
+			// Statically resolvable transfers are rebased into the shadow.
 			ins.Imm += n
 			st.StaticJumps++
 
-		case vm.JR:
+		case ins.Op == vm.JR:
 			if ti, ok := recognizeTable(int(i), ins.Rs1); ok {
 				ins.Op = vm.JTR
 				ins.Imm = int64(ti)
@@ -200,14 +201,14 @@ func Transform(p *vm.Program, opt Options) (*vm.Program, Stats, error) {
 				ins.Op = vm.JRH
 				st.DynamicJumps++
 			}
-		case vm.CALLR:
+		case ins.Op == vm.CALLR:
 			ins.Op = vm.CALLRH
 			st.DynamicJumps++
-		case vm.RET:
+		case ins.Op == vm.RET:
 			ins.Op = vm.RETH
 			st.DynamicJumps++
 
-		case vm.SYSCALL:
+		case ins.Op == vm.SYSCALL:
 			switch ins.Imm {
 			case vm.SysPrint, vm.SysPrintInt:
 				if opt.RemoveOutputRoutines {

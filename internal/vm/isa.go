@@ -121,6 +121,78 @@ func (o Op) IsSpeculative() bool {
 	return false
 }
 
+// IsBranch reports whether o is a conditional branch (falls through when the
+// condition does not hold).
+func (o Op) IsBranch() bool { return o == BEQ || o == BNE || o == BLT || o == BGE }
+
+// IsIndirect reports whether o is a register-indirect control transfer,
+// including the shadow handler variants and the checked jump-table jump.
+// These are the transfers SpecHint cannot rebase statically.
+func (o Op) IsIndirect() bool {
+	switch o {
+	case JR, CALLR, RET, JRH, CALLRH, RETH, JTR:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether o saves a return address before transferring.
+func (o Op) IsCall() bool { return o == CALL || o == CALLR || o == CALLRH }
+
+// IsControl reports whether o transfers control (unconditionally or not).
+// SYSCALL is not control transfer: it always resumes at the next PC.
+func (o Op) IsControl() bool {
+	return o.IsBranch() || o.IsIndirect() || o == JMP || o == CALL
+}
+
+// WritesReg returns the register i defines, if any. Writes to the hardwired
+// zero register define nothing. SYSCALL results land in R1 by convention.
+func (i Instr) WritesReg() (uint8, bool) {
+	var rd uint8
+	switch {
+	case i.Op >= ADD && i.Op <= MOVI, i.Op.IsLoad():
+		rd = i.Rd
+	case i.Op.IsCall():
+		rd = RA
+	case i.Op == SYSCALL:
+		rd = R1
+	default:
+		return 0, false
+	}
+	if rd == R0 {
+		return 0, false
+	}
+	return rd, true
+}
+
+// ReadsRegs appends the registers i uses to dst and returns the extended
+// slice. The hardwired zero register is included when named; callers that
+// track definitions can ignore it (it has none). SYSCALL conservatively
+// reads the full argument convention R1-R4.
+func (i Instr) ReadsRegs(dst []uint8) []uint8 {
+	switch {
+	case i.Op >= ADD && i.Op <= SLT: // register ALU
+		return append(dst, i.Rs1, i.Rs2)
+	case i.Op >= ADDI && i.Op <= SLTI: // immediate ALU
+		return append(dst, i.Rs1)
+	case i.Op == MOVI, i.Op == NOP, i.Op == JMP, i.Op == CALL:
+		return dst
+	case i.Op.IsLoad():
+		return append(dst, i.Rs1)
+	case i.Op.IsStore():
+		return append(dst, i.Rs1, i.Rs2)
+	case i.Op.IsBranch():
+		return append(dst, i.Rs1, i.Rs2)
+	case i.Op == JR, i.Op == CALLR, i.Op == JRH, i.Op == CALLRH, i.Op == JTR:
+		return append(dst, i.Rs1)
+	case i.Op == RET, i.Op == RETH:
+		return append(dst, RA)
+	case i.Op == SYSCALL:
+		return append(dst, R1, R2, R3, R4)
+	}
+	return dst
+}
+
 // Register conventions. R0 is hardwired to zero. R1-R4 carry syscall and
 // function arguments (R1 also results). RA holds return addresses, SP the
 // stack pointer. AT is reserved for tool-inserted code (SpecHint), never
