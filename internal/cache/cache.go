@@ -46,6 +46,8 @@ type Block struct {
 	LB       int64 // global logical block number
 	Origin   Origin
 	HintDist int64 // position in the hint sequence; NoHint if unhinted
+	Owner    int   // hint-stream (client) id holding the hint protection;
+	// meaningful only while HintDist != NoHint
 
 	state    State
 	uses     int // demand accesses since arrival
@@ -71,6 +73,15 @@ type Stats struct {
 	EvictedClean int64 // valid blocks evicted
 	UnusedHint   int64 // hint-prefetched blocks evicted (or left) with zero uses
 	UnusedRA     int64 // readahead-prefetched blocks evicted (or left) with zero uses
+
+	// Multiprogramming isolation counters. CrossHintEvicts counts hinted
+	// blocks evicted by a *hinted* request from a different owner (the
+	// cost-benefit comparison allows this). UnhintedCrossEvicts counts hinted
+	// blocks evicted by another owner's *unhinted* traffic — the partition
+	// policy forbids it, so the counter must stay zero; internal/multi
+	// asserts this.
+	CrossHintEvicts     int64
+	UnhintedCrossEvicts int64
 }
 
 // Cache is the buffer pool. It is not safe for concurrent use; the simulation
@@ -81,6 +92,18 @@ type Cache struct {
 	lru      *list.List // front = LRU (eviction end), back = MRU
 	tick     int64
 	stats    Stats
+
+	// Hinted-block partitions: per-owner resident hinted-block counts and
+	// caps (0 or absent = unlimited). The TIP manager sets caps from its
+	// cost-benefit allocation across competing hinted processes.
+	hinted     map[int]int
+	partitions map[int]int
+
+	// accuracyOf, when set, supplies each owner's recent hint accuracy so
+	// that cross-owner evictions can compare marginal benefit
+	// (accuracy/distance) rather than raw distance. Nil means all owners are
+	// equally reliable.
+	accuracyOf func(owner int) float64
 }
 
 // New returns a cache with the given capacity in blocks.
@@ -89,11 +112,29 @@ func New(capacity int) *Cache {
 		panic(fmt.Sprintf("cache: capacity %d", capacity))
 	}
 	return &Cache{
-		capacity: capacity,
-		blocks:   make(map[int64]*Block),
-		lru:      list.New(),
+		capacity:   capacity,
+		blocks:     make(map[int64]*Block),
+		lru:        list.New(),
+		hinted:     make(map[int]int),
+		partitions: make(map[int]int),
 	}
 }
+
+// SetAccuracyFn installs the per-owner hint-accuracy source used by the
+// cross-owner marginal-benefit comparison.
+func (c *Cache) SetAccuracyFn(fn func(owner int) float64) { c.accuracyOf = fn }
+
+// SetPartition caps owner's resident hinted blocks at max (0 = unlimited).
+func (c *Cache) SetPartition(owner, max int) {
+	if max <= 0 {
+		delete(c.partitions, owner)
+		return
+	}
+	c.partitions[owner] = max
+}
+
+// HintedCount returns owner's current resident hinted-block count.
+func (c *Cache) HintedCount(owner int) int { return c.hinted[owner] }
 
 // Capacity returns the pool size in blocks.
 func (c *Cache) Capacity() int { return c.capacity }
@@ -107,41 +148,100 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Get returns the block for lb, or nil if absent.
 func (c *Cache) Get(lb int64) *Block { return c.blocks[lb] }
 
-// Acquire allocates a buffer for lb in the InTransit state, evicting a
-// less-valuable block if the pool is full. hintDist is the requesting
-// stream's distance to the block (NoHint for demand fetches and readahead,
-// which use LRU value only). It returns nil if no buffer could be freed —
-// every cached block is either in transit or more valuable than the request.
-//
-// Acquire panics if lb is already present; callers must check Get first.
+// Acquire allocates a buffer for owner 0 — the single-process form; see
+// AcquireFor.
 func (c *Cache) Acquire(lb int64, origin Origin, hintDist int64) *Block {
+	return c.AcquireFor(0, lb, origin, hintDist)
+}
+
+// AcquireFor allocates a buffer for lb in the InTransit state on behalf of
+// the given hint-stream owner, evicting a less-valuable block if the pool is
+// full. hintDist is the requesting stream's distance to the block (NoHint for
+// demand fetches and readahead, which use LRU value only). It returns nil if
+// no buffer could be freed — every cached block is either in transit or more
+// valuable than the request.
+//
+// AcquireFor panics if lb is already present; callers must check Get first.
+func (c *Cache) AcquireFor(owner int, lb int64, origin Origin, hintDist int64) *Block {
 	if _, ok := c.blocks[lb]; ok {
 		panic(fmt.Sprintf("cache: Acquire of present block %d", lb))
 	}
+	if hintDist != NoHint {
+		if max := c.partitions[owner]; max > 0 && c.hinted[owner] >= max {
+			// The owner's hinted partition is full: the stream competes with
+			// itself, reclaiming its own furthest-out hinted block — never
+			// another process's.
+			if !c.evictOwnFurthest(owner, hintDist) {
+				return nil
+			}
+		}
+	}
 	if len(c.blocks) >= c.capacity {
-		if !c.evictFor(origin, hintDist) {
+		if !c.evictFor(owner, origin, hintDist) {
 			return nil
 		}
 	}
 	c.tick++
-	b := &Block{LB: lb, Origin: origin, HintDist: hintDist, state: InTransit, arrival: c.tick}
+	b := &Block{LB: lb, Origin: origin, HintDist: hintDist, Owner: owner, state: InTransit, arrival: c.tick}
 	c.blocks[lb] = b
+	if hintDist != NoHint {
+		c.hinted[owner]++
+	}
 	return b
 }
 
-// evictFor frees one buffer for a request with the given origin and hint
-// distance. Policy (a simplification of TIP's cost-benefit analysis):
+// evictOwnFurthest evicts owner's furthest-out valid hinted block, provided
+// it is further out than the incoming distance (ejecting a hinted block to
+// fetch data needed even later is never beneficial).
+func (c *Cache) evictOwnFurthest(owner int, incoming int64) bool {
+	var victim *Block
+	for e := c.lru.Front(); e != nil; e = e.Next() {
+		b := e.Value.(*Block)
+		if b.HintDist == NoHint || b.Owner != owner {
+			continue
+		}
+		if victim == nil || b.HintDist > victim.HintDist {
+			victim = b
+		}
+	}
+	if victim == nil || victim.HintDist <= incoming {
+		return false
+	}
+	if victim.Owner != owner {
+		// Unreachable under the partition policy (the candidate scan filters
+		// on owner); the counter is a tripwire for internal/multi's isolation
+		// assertion should the policy ever regress.
+		c.stats.UnhintedCrossEvicts++
+	}
+	c.evict(victim)
+	return true
+}
+
+// accuracy returns the owner's hint accuracy for benefit comparisons.
+func (c *Cache) accuracy(owner int) float64 {
+	if c.accuracyOf == nil {
+		return 1
+	}
+	return c.accuracyOf(owner)
+}
+
+// evictFor frees one buffer for a request with the given origin, owner and
+// hint distance. Policy (a simplification of TIP's cost-benefit analysis,
+// extended across competing hinted processes):
 //
-//  1. Prefer the LRU unhinted valid block.
-//  2. Otherwise evict the hinted valid block with the greatest hint distance,
-//     but only if that distance exceeds the incoming request's — ejecting a
-//     hinted block to fetch data needed even later is never beneficial.
-//  3. Demand fetches (hintDist == NoHint, origin OriginDemand) may always
-//     take the greatest-distance hinted block: stalling the application is
-//     the highest cost in the model.
+//  1. Prefer the LRU unhinted valid block — the shared pool.
+//  2. Unhinted traffic (demand fetches, sequential read-ahead) may reclaim
+//     only the requesting process's OWN hinted blocks, furthest first:
+//     demand always wins against its own stream (stalling the application is
+//     the highest cost in the model), read-ahead never ejects hinted data.
+//     Another process's hinted blocks are never victims of unhinted traffic.
+//  3. A hinted fetch compares marginal benefit across every process's hinted
+//     blocks: a block's benefit is its owner's recent hint accuracy divided
+//     by its hint distance, and the globally least-beneficial block is
+//     evicted if the incoming block is worth strictly more.
 //
 // In-transit blocks are never evicted.
-func (c *Cache) evictFor(origin Origin, hintDist int64) bool {
+func (c *Cache) evictFor(owner int, origin Origin, hintDist int64) bool {
 	// Case 1: LRU unhinted block.
 	for e := c.lru.Front(); e != nil; e = e.Next() {
 		b := e.Value.(*Block)
@@ -150,33 +250,55 @@ func (c *Cache) evictFor(origin Origin, hintDist int64) bool {
 			return true
 		}
 	}
-	// Case 2/3: furthest hinted block.
+	// Case 2: unhinted traffic reclaims only its own stream's hinted blocks.
+	if hintDist == NoHint {
+		incoming := int64(NoHint)
+		if origin == OriginDemand {
+			incoming = -1 // demand data is needed now; it always wins
+		}
+		return c.evictOwnFurthest(owner, incoming)
+	}
+	// Case 3: hinted fetch — cross-process marginal-benefit comparison.
 	var victim *Block
 	for e := c.lru.Front(); e != nil; e = e.Next() {
 		b := e.Value.(*Block)
-		if victim == nil || b.HintDist > victim.HintDist {
+		if victim == nil || c.lessBeneficial(b, victim) {
 			victim = b
 		}
 	}
 	if victim == nil {
 		return false
 	}
-	incoming := hintDist
-	if origin == OriginDemand {
-		incoming = -1 // demand data is needed now; it always wins
-	}
-	if victim.HintDist > incoming {
+	// benefit(victim) < benefit(incoming), cross-multiplied to avoid division.
+	if c.accuracy(victim.Owner)*float64(hintDist+1) < c.accuracy(owner)*float64(victim.HintDist+1) {
+		if victim.Owner != owner {
+			c.stats.CrossHintEvicts++
+		}
 		c.evict(victim)
 		return true
 	}
 	return false
 }
 
+// lessBeneficial reports whether holding a is worth strictly less than
+// holding b: benefit = owner accuracy / (hint distance + 1).
+func (c *Cache) lessBeneficial(a, b *Block) bool {
+	return c.accuracy(a.Owner)*float64(b.HintDist+1) < c.accuracy(b.Owner)*float64(a.HintDist+1)
+}
+
 func (c *Cache) evict(b *Block) {
 	c.stats.EvictedClean++
 	c.noteUnusedIfPrefetched(b)
+	c.dropHintAccounting(b)
 	c.lru.Remove(b.elem)
 	delete(c.blocks, b.LB)
+}
+
+// dropHintAccounting releases b's slot in its owner's hinted partition.
+func (c *Cache) dropHintAccounting(b *Block) {
+	if b.HintDist != NoHint {
+		c.hinted[b.Owner]--
+	}
 }
 
 func (c *Cache) noteUnusedIfPrefetched(b *Block) {
@@ -256,18 +378,40 @@ func (c *Cache) Drop(lb int64) {
 	if b == nil || b.state != InTransit || len(b.waiters) > 0 {
 		panic(fmt.Sprintf("cache: Drop of block %d in bad state", lb))
 	}
+	c.dropHintAccounting(b)
 	delete(c.blocks, lb)
 }
 
 // NoteMiss records a demand fetch for an absent block.
 func (c *Cache) NoteMiss() { c.stats.Misses++ }
 
-// SetHintDist updates a block's hint distance (e.g. after a CANCEL_ALL the
-// block becomes unhinted; after a new hint it gains a distance).
-func (c *Cache) SetHintDist(lb, dist int64) {
-	if b := c.blocks[lb]; b != nil {
-		b.HintDist = dist
+// SetHintDist updates a block's hint distance on behalf of owner 0 — the
+// single-process form; see SetHintFor.
+func (c *Cache) SetHintDist(lb, dist int64) { c.SetHintFor(lb, 0, dist) }
+
+// SetHintFor updates a block's hint distance and owner (e.g. after a
+// CANCEL_ALL the block becomes unhinted; after a new hint it gains a distance
+// and the hinting stream takes ownership), keeping the per-owner hinted
+// partition counts consistent.
+func (c *Cache) SetHintFor(lb int64, owner int, dist int64) {
+	b := c.blocks[lb]
+	if b == nil {
+		return
 	}
+	wasHinted := b.HintDist != NoHint
+	nowHinted := dist != NoHint
+	switch {
+	case wasHinted && !nowHinted:
+		c.hinted[b.Owner]--
+	case !wasHinted && nowHinted:
+		c.hinted[owner]++
+		b.Owner = owner
+	case wasHinted && nowHinted && b.Owner != owner:
+		c.hinted[b.Owner]--
+		c.hinted[owner]++
+		b.Owner = owner
+	}
+	b.HintDist = dist
 }
 
 // ForEach visits every cached block (any state), in unspecified order.

@@ -5,6 +5,14 @@
 // balancing prefetch depth against cache pressure with a simplified
 // cost-benefit rule.
 //
+// TIP is a multi-process substrate: each process holds a Client whose hint
+// queue, accuracy estimate and read-ahead state are private, so one process's
+// TIPIO_CANCEL_ALL or bad hints cannot cancel or discount another's. The
+// Manager arbitrates the shared cache and disk array across clients,
+// partitioning hinted buffers by each client's recent accuracy. Single-process
+// callers may use the Manager-level wrappers, which lazily create a default
+// client.
+//
 // Unhinted read calls invoke the operating system's sequential read-ahead
 // policy, which prefetches approximately as many blocks as have been read
 // sequentially, up to 64 — aggressive enough to waste most of its prefetches
@@ -51,9 +59,10 @@ type Config struct {
 	// unbounded.
 	RADepthPerDisk int
 
-	// MaxHintSegs caps the outstanding hint queue; hints beyond the cap are
-	// dropped (TIP's hint buffers were finite). Runaway speculation can
-	// otherwise disclose unbounded garbage. Zero means unbounded.
+	// MaxHintSegs caps each client's outstanding hint queue; hints beyond
+	// the cap are dropped (TIP's hint buffers were finite). Runaway
+	// speculation can otherwise disclose unbounded garbage. Zero means
+	// unbounded.
 	MaxHintSegs int
 
 	// IgnoreHints makes hint calls no-ops (the paper's Figure 4
@@ -91,8 +100,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Stats aggregates the hinting and prefetching activity of one run; it is
-// the source for the paper's Tables 4 and 5.
+// Stats aggregates the hinting and prefetching activity of one client (or,
+// via Manager.Stats, of every client); it is the source for the paper's
+// Tables 4 and 5.
 type Stats struct {
 	// Demand read activity (explicit file calls only).
 	ReadCalls  int64
@@ -118,6 +128,28 @@ type Stats struct {
 	// Prefetch activity.
 	HintPrefetches int64 // blocks fetched because of hints
 	RAPrefetches   int64 // blocks fetched by sequential read-ahead
+}
+
+// add accumulates o into s (for cross-client aggregation).
+func (s *Stats) add(o Stats) {
+	s.ReadCalls += o.ReadCalls
+	s.ReadBlocks += o.ReadBlocks
+	s.ReadBytes += o.ReadBytes
+	s.HintedReadCalls += o.HintedReadCalls
+	s.HintedReadBlocks += o.HintedReadBlocks
+	s.HintedReadBytes += o.HintedReadBytes
+	s.HintCalls += o.HintCalls
+	s.HintBlocks += o.HintBlocks
+	s.HintBytes += o.HintBytes
+	s.CancelCalls += o.CancelCalls
+	s.CancelledSegs += o.CancelledSegs
+	s.DroppedHints += o.DroppedHints
+	s.MatchedCalls += o.MatchedCalls
+	s.MatchedBlocks += o.MatchedBlocks
+	s.MatchedBytes += o.MatchedBytes
+	s.BypassedSegs += o.BypassedSegs
+	s.HintPrefetches += o.HintPrefetches
+	s.RAPrefetches += o.RAPrefetches
 }
 
 // InaccurateCalls returns the number of hint calls that never matched a
@@ -177,7 +209,8 @@ type raState struct {
 	runBlocks int64 // length of the current sequential run, in blocks
 }
 
-// Manager is the informed prefetching and caching manager.
+// Manager is the informed prefetching and caching manager: the shared cache,
+// the shared disk queues, and the per-client arbitration between them.
 type Manager struct {
 	clk   *sim.Queue
 	arr   *disk.Array
@@ -185,10 +218,8 @@ type Manager struct {
 	cache *cache.Cache
 	cfg   Config
 
-	hints []*segment
-	head  int // first unconsumed hint
-
-	ra map[int64]*raState // by inode
+	clients []*Client // indexed by client id
+	defc    *Client   // lazy default client behind the Manager-level wrappers
 
 	// pendingDemand holds demand fetches that could not obtain a buffer
 	// (everything in transit); retried on every completion.
@@ -196,6 +227,21 @@ type Manager struct {
 
 	prefDepth map[int]int             // outstanding prefetches per disk
 	inflight  map[int64]*disk.Request // in-transit block -> its disk request
+}
+
+// Client is one process's handle on the manager: a private hint queue,
+// accuracy estimate and read-ahead state. Hints disclosed and cancelled
+// through a Client never touch another client's queue.
+type Client struct {
+	m      *Manager
+	id     int
+	name   string
+	closed bool
+
+	hints []*segment
+	head  int // first unconsumed hint
+
+	ra map[int64]*raState // by inode
 
 	// Windowed hint-accuracy estimate (right ≈ matched, wrong ≈ bypassed +
 	// cancelled, both decayed): TIP discounts the benefit of prefetching
@@ -210,18 +256,6 @@ type Manager struct {
 // accWindow is the sliding-window size for the accuracy estimate.
 const accWindow = 256
 
-func (m *Manager) accObserve(good bool, weight float64) {
-	if good {
-		m.accGood += weight
-	} else {
-		m.accBad += weight
-	}
-	if m.accGood+m.accBad > accWindow {
-		m.accGood /= 2
-		m.accBad /= 2
-	}
-}
-
 // New constructs a manager over the given clock, array and file system.
 func New(clk *sim.Queue, arr *disk.Array, fs *fsim.FS, cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
@@ -233,19 +267,159 @@ func New(clk *sim.Queue, arr *disk.Array, fs *fsim.FS, cfg Config) (*Manager, er
 		fs:        fs,
 		cache:     cache.New(cfg.CacheBlocks),
 		cfg:       cfg,
-		ra:        make(map[int64]*raState),
 		prefDepth: make(map[int]int),
 		inflight:  make(map[int64]*disk.Request),
 	}
+	m.cache.SetAccuracyFn(func(owner int) float64 {
+		if owner >= 0 && owner < len(m.clients) {
+			return m.clients[owner].accuracy()
+		}
+		return 1
+	})
 	arr.OnIdle = func(int) { m.pump() }
 	return m, nil
+}
+
+// NewClient registers a new hint stream with the manager. The name labels
+// the stream in diagnostics; ids are assigned sequentially from zero.
+func (m *Manager) NewClient(name string) *Client {
+	c := &Client{m: m, id: len(m.clients), name: name, ra: make(map[int64]*raState)}
+	m.clients = append(m.clients, c)
+	m.recomputePartitions()
+	return c
+}
+
+// def returns the default client behind the Manager-level wrappers, creating
+// it on first use. Single-process runs that drive the Manager directly (or
+// through exactly one explicit client) therefore never see partitioning.
+func (m *Manager) def() *Client {
+	if m.defc == nil {
+		m.defc = m.NewClient("default")
+	}
+	return m.defc
 }
 
 // Cache exposes the underlying cache (read-only use: stats, inspection).
 func (m *Manager) Cache() *cache.Cache { return m.cache }
 
-// Stats returns a copy of the counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns the counters summed over every client.
+func (m *Manager) Stats() Stats {
+	var sum Stats
+	for _, c := range m.clients {
+		sum.add(c.stats)
+	}
+	return sum
+}
+
+// ID returns the client's id (also its cache owner id).
+func (c *Client) ID() int { return c.id }
+
+// Name returns the label given at NewClient.
+func (c *Client) Name() string { return c.name }
+
+// Stats returns a copy of this client's counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Close retires the client: its queued hints are released (without the
+// accuracy penalty of a cancel — the process exited; its predictions were not
+// wrong) and its cache partition is redistributed to the survivors.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	for i := c.head; i < len(c.hints); i++ {
+		seg := c.hints[i]
+		if seg.cancelled || seg.complete {
+			continue
+		}
+		for _, lb := range seg.blocks {
+			c.unprotect(lb)
+		}
+	}
+	c.hints = nil
+	c.head = 0
+	c.closed = true
+	c.m.recomputePartitions()
+}
+
+// unprotect releases the hint protection c holds on lb, if any. A block
+// re-protected by a different client keeps that client's protection.
+func (c *Client) unprotect(lb int64) {
+	if b := c.m.cache.Get(lb); b != nil && b.HintDist != cache.NoHint && b.Owner == c.id {
+		c.m.cache.SetHintFor(lb, c.id, cache.NoHint)
+	}
+}
+
+func (c *Client) accObserve(good bool, weight float64) {
+	if good {
+		c.accGood += weight
+	} else {
+		c.accBad += weight
+	}
+	if c.accGood+c.accBad > accWindow {
+		c.accGood /= 2
+		c.accBad /= 2
+	}
+	c.m.recomputePartitions()
+}
+
+// openClients returns the clients still accepting hints.
+func (m *Manager) openClients() []*Client {
+	var open []*Client
+	for _, c := range m.clients {
+		if !c.closed {
+			open = append(open, c)
+		}
+	}
+	return open
+}
+
+// recomputePartitions reapportions the hinted-buffer budget across open
+// clients. With at most one open client the cache is unpartitioned (the
+// single-process configuration of the paper); with several, a quarter of the
+// cache is reserved as the shared unhinted LRU pool and the rest is split in
+// proportion to each client's recent hint accuracy — TIP's cost-benefit
+// allocation reduced to its ranking: reliable hinters earn deeper prefetch
+// residency.
+func (m *Manager) recomputePartitions() {
+	open := m.openClients()
+	if len(open) <= 1 {
+		for _, c := range m.clients {
+			m.cache.SetPartition(c.id, 0)
+		}
+		return
+	}
+	reserve := m.cfg.CacheBlocks / 4
+	if reserve < 1 {
+		reserve = 1
+	}
+	avail := m.cfg.CacheBlocks - reserve
+	var sumW float64
+	for _, c := range open {
+		sumW += c.weight()
+	}
+	for _, c := range m.clients {
+		if c.closed {
+			m.cache.SetPartition(c.id, 0)
+			continue
+		}
+		share := int(float64(avail) * c.weight() / sumW)
+		if share < 1 {
+			share = 1
+		}
+		m.cache.SetPartition(c.id, share)
+	}
+}
+
+// weight is the client's partition weight: accuracy floored so an unlucky
+// client keeps a foothold from which its estimate can recover.
+func (c *Client) weight() float64 {
+	w := c.accuracy()
+	if w < 0.05 {
+		w = 0.05
+	}
+	return w
+}
 
 // blockRange returns the file-block index range [first, last] covering
 // [off, off+n) clamped to the file, or ok=false if the range is empty.
@@ -260,10 +434,32 @@ func blockRange(f *fsim.File, off, n int64, blockSize int64) (first, last int64,
 	return off / blockSize, (end - 1) / blockSize, true
 }
 
+// HintSeg discloses a future read through the default client; see
+// Client.HintSeg.
+func (m *Manager) HintSeg(f *fsim.File, off, n int64) { m.def().HintSeg(f, off, n) }
+
+// HintBatch discloses several future reads through the default client.
+func (m *Manager) HintBatch(segs []Seg) { m.def().HintBatch(segs) }
+
+// CancelAll cancels the default client's hints; see Client.CancelAll.
+func (m *Manager) CancelAll() { m.def().CancelAll() }
+
+// Accuracy returns the default client's accuracy estimate.
+func (m *Manager) Accuracy() float64 { return m.def().Accuracy() }
+
+// Covered reports hint coverage within the default client's queue.
+func (m *Manager) Covered(f *fsim.File, off, n int64) bool { return m.def().Covered(f, off, n) }
+
+// Read performs a demand read through the default client; see Client.Read.
+func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) bool {
+	return m.def().Read(f, off, n, hinted, done)
+}
+
 // HintSeg discloses a future read of [off, off+n) in f (TIPIO_SEG /
 // TIPIO_FD_SEG; the two differ only in how the caller named the file).
-func (m *Manager) HintSeg(f *fsim.File, off, n int64) {
-	m.stats.HintCalls++
+func (c *Client) HintSeg(f *fsim.File, off, n int64) {
+	c.stats.HintCalls++
+	m := c.m
 	bs := int64(m.fs.BlockSize())
 	seg := &segment{file: f, off: off, n: n}
 	if first, last, ok := blockRange(f, off, n, bs); ok {
@@ -271,22 +467,22 @@ func (m *Manager) HintSeg(f *fsim.File, off, n int64) {
 		for b := first; b <= last; b++ {
 			seg.blocks = append(seg.blocks, f.LogicalBlock(b))
 		}
-		m.stats.HintBlocks += int64(len(seg.blocks))
+		c.stats.HintBlocks += int64(len(seg.blocks))
 		end := off + n
 		if end > f.Size() {
 			end = f.Size()
 		}
-		m.stats.HintBytes += end - off
+		c.stats.HintBytes += end - off
 	}
-	if m.cfg.IgnoreHints {
+	if m.cfg.IgnoreHints || c.closed {
 		return
 	}
-	if m.cfg.MaxHintSegs > 0 && len(m.hints)-m.head >= m.cfg.MaxHintSegs {
+	if m.cfg.MaxHintSegs > 0 && len(c.hints)-c.head >= m.cfg.MaxHintSegs {
 		// Hint buffers are full (runaway speculation): drop the hint.
-		m.stats.DroppedHints++
+		c.stats.DroppedHints++
 		return
 	}
-	m.hints = append(m.hints, seg)
+	c.hints = append(c.hints, seg)
 	m.pump()
 }
 
@@ -301,70 +497,84 @@ type Seg struct {
 // TIPIO_SEG form. Speculative execution discovers reads one at a time and
 // never uses it (as the paper notes), but manually modified applications
 // can.
-func (m *Manager) HintBatch(segs []Seg) {
+func (c *Client) HintBatch(segs []Seg) {
 	for _, sg := range segs {
-		m.HintSeg(sg.File, sg.Off, sg.N)
+		c.HintSeg(sg.File, sg.Off, sg.N)
 	}
 }
 
-// CancelAll cancels all outstanding hints (TIPIO_CANCEL_ALL). Prefetch
-// requests already issued to the disks proceed; their blocks merely lose
-// hint protection in the cache.
-func (m *Manager) CancelAll() {
-	m.stats.CancelCalls++
-	if m.cfg.IgnoreHints {
+// CancelAll cancels all of this client's outstanding hints (TIPIO_CANCEL_ALL).
+// Other clients' hints are untouched. Prefetch requests already issued to the
+// disks proceed; their blocks merely lose hint protection in the cache.
+func (c *Client) CancelAll() {
+	c.stats.CancelCalls++
+	if c.m.cfg.IgnoreHints {
 		return
 	}
-	for i := m.head; i < len(m.hints); i++ {
-		seg := m.hints[i]
+	for i := c.head; i < len(c.hints); i++ {
+		seg := c.hints[i]
 		if seg.cancelled {
 			continue
 		}
 		seg.cancelled = true
-		m.stats.CancelledSegs++
-		m.accObserve(false, 1)
+		c.stats.CancelledSegs++
+		c.accObserve(false, 1)
 		for _, lb := range seg.blocks {
-			m.cache.SetHintDist(lb, cache.NoHint)
+			c.unprotect(lb)
 		}
 	}
-	m.hints = m.hints[:0]
-	m.head = 0
+	c.hints = c.hints[:0]
+	c.head = 0
 }
 
-// Accuracy returns TIP's windowed estimate of the fraction of recent hints
-// that proved correct (1.0 before any evidence). The adaptive speculation
-// throttle consults it.
-func (m *Manager) Accuracy() float64 { return m.accuracy() }
+// Accuracy returns TIP's windowed estimate of the fraction of this client's
+// recent hints that proved correct (1.0 before any evidence). The adaptive
+// speculation throttle consults it.
+func (c *Client) Accuracy() float64 { return c.accuracy() }
 
 // accuracy estimates the fraction of recent hints that proved correct. TIP
 // uses this to discount the benefit of prefetching in response to hints.
-func (m *Manager) accuracy() float64 {
-	if m.accGood+m.accBad == 0 {
+func (c *Client) accuracy() float64 {
+	if c.accGood+c.accBad == 0 {
 		return 1.0
 	}
-	return m.accGood / (m.accGood + m.accBad)
+	return c.accGood / (c.accGood + c.accBad)
 }
 
-// effHorizon returns the accuracy-scaled prefetch horizon.
-func (m *Manager) effHorizon() int {
-	h := int(float64(m.cfg.Horizon) * m.accuracy())
-	if h < m.cfg.MinHorizon {
-		h = m.cfg.MinHorizon
+// effHorizon returns the client's accuracy-scaled prefetch horizon.
+func (c *Client) effHorizon() int {
+	h := int(float64(c.m.cfg.Horizon) * c.accuracy())
+	if h < c.m.cfg.MinHorizon {
+		h = c.m.cfg.MinHorizon
 	}
 	return h
 }
 
-// pump issues hint-driven prefetches up to the effective horizon. It is
-// invoked on every hint, every disk-idle transition and every completion.
+// pump issues hint-driven prefetches for every client. It is invoked on every
+// hint, every disk-idle transition and every completion. Clients are visited
+// in id order for determinism; one client running out of buffers does not
+// stop the others (their partitions may still have room).
 func (m *Manager) pump() {
 	if m.cfg.IgnoreHints {
 		return
 	}
-	horizon := m.effHorizon()
+	for _, c := range m.clients {
+		c.pump()
+	}
+}
+
+// pump issues this client's hint-driven prefetches up to its effective
+// horizon.
+func (c *Client) pump() {
+	if c.closed {
+		return
+	}
+	m := c.m
+	horizon := c.effHorizon()
 	bs := int64(m.fs.BlockSize())
 	dist := 0
-	for i := m.head; i < len(m.hints) && dist < horizon; i++ {
-		seg := m.hints[i]
+	for i := c.head; i < len(c.hints) && dist < horizon; i++ {
+		seg := c.hints[i]
 		if seg.cancelled || seg.complete {
 			continue
 		}
@@ -376,17 +586,17 @@ func (m *Manager) pump() {
 			dist++
 			if b := m.cache.Get(lb); b != nil {
 				if b.HintDist > d {
-					m.cache.SetHintDist(lb, d)
+					m.cache.SetHintFor(lb, c.id, d)
 				}
 				continue
 			}
-			switch m.startFetch(lb, cache.OriginHint, d) {
+			switch m.startFetch(c.id, lb, cache.OriginHint, d) {
 			case fetchStarted:
-				m.stats.HintPrefetches++
+				c.stats.HintPrefetches++
 			case fetchDiskBusy:
 				continue // this disk is at depth; later blocks may differ
 			case fetchNoBuffer:
-				return // cache pressure: stop pumping entirely
+				return // cache pressure: stop pumping this client
 			}
 		}
 	}
@@ -402,9 +612,9 @@ const (
 	fetchNoBuffer
 )
 
-// startFetch acquires a buffer for lb and submits the disk request, leaving
-// no residue on failure.
-func (m *Manager) startFetch(lb int64, origin cache.Origin, hintDist int64) fetchResult {
+// startFetch acquires a buffer for lb on the owner's behalf and submits the
+// disk request, leaving no residue on failure.
+func (m *Manager) startFetch(owner int, lb int64, origin cache.Origin, hintDist int64) fetchResult {
 	dk, phys := m.arr.Map(lb)
 	pri := disk.Prefetch
 	if origin == cache.OriginDemand {
@@ -417,7 +627,7 @@ func (m *Manager) startFetch(lb int64, origin cache.Origin, hintDist int64) fetc
 	if pri == disk.Prefetch && bound > 0 && m.prefDepth[dk] >= bound {
 		return fetchDiskBusy
 	}
-	b := m.cache.Acquire(lb, origin, hintDist)
+	b := m.cache.AcquireFor(owner, lb, origin, hintDist)
 	if b == nil {
 		return fetchNoBuffer
 	}
@@ -462,13 +672,13 @@ func (m *Manager) retryPendingDemand() {
 
 // findCover returns the queue index of the first live segment whose range
 // covers the read [off, off+n) of f (both clamped to the file), or -1.
-func (m *Manager) findCover(f *fsim.File, off, n int64) int {
+func (c *Client) findCover(f *fsim.File, off, n int64) int {
 	covEnd := off + n
 	if sz := f.Size(); covEnd > sz {
 		covEnd = sz
 	}
-	for i := m.head; i < len(m.hints); i++ {
-		seg := m.hints[i]
+	for i := c.head; i < len(c.hints); i++ {
+		seg := c.hints[i]
 		if seg.cancelled || seg.complete {
 			continue
 		}
@@ -479,37 +689,37 @@ func (m *Manager) findCover(f *fsim.File, off, n int64) int {
 	return -1
 }
 
-// Covered reports whether a read of [off, off+n) in f is disclosed by an
-// outstanding hint. Manually-hinted applications use this to decide whether
-// a read call counts as hinted.
-func (m *Manager) Covered(f *fsim.File, off, n int64) bool {
-	if m.cfg.IgnoreHints {
+// Covered reports whether a read of [off, off+n) in f is disclosed by one of
+// this client's outstanding hints. Manually-hinted applications use this to
+// decide whether a read call counts as hinted.
+func (c *Client) Covered(f *fsim.File, off, n int64) bool {
+	if c.m.cfg.IgnoreHints {
 		return false
 	}
-	return m.findCover(f, off, n) >= 0
+	return c.findCover(f, off, n) >= 0
 }
 
-// consume matches a hinted demand read against the hint queue. Segments
-// skipped over on the way to the covering segment predicted reads that did
-// not occur (in that order) and are bypassed — this is how erroneous
+// consume matches a hinted demand read against the client's hint queue.
+// Segments skipped over on the way to the covering segment predicted reads
+// that did not occur (in that order) and are bypassed — this is how erroneous
 // speculation shows up in Table 4.
-func (m *Manager) consume(f *fsim.File, off, n int64) {
-	i := m.findCover(f, off, n)
+func (c *Client) consume(f *fsim.File, off, n int64) {
+	i := c.findCover(f, off, n)
 	if i < 0 {
 		return
 	}
-	for j := m.head; j < i; j++ {
-		seg := m.hints[j]
+	for j := c.head; j < i; j++ {
+		seg := c.hints[j]
 		if !seg.cancelled && !seg.complete {
-			m.stats.BypassedSegs++
-			m.accObserve(false, 1)
+			c.stats.BypassedSegs++
+			c.accObserve(false, 1)
 			for _, lb := range seg.blocks {
-				m.cache.SetHintDist(lb, cache.NoHint)
+				c.unprotect(lb)
 			}
 		}
 	}
-	m.head = i
-	seg := m.hints[i]
+	c.head = i
+	seg := c.hints[i]
 	covEnd := off + n
 	if end := seg.dataEnd(); covEnd > end {
 		covEnd = end
@@ -517,27 +727,27 @@ func (m *Manager) consume(f *fsim.File, off, n int64) {
 	if hw := covEnd - seg.off; hw > seg.consumed {
 		seg.consumed = hw
 	}
-	m.accObserve(true, 1)
+	c.accObserve(true, 1)
 	if seg.off+seg.consumed >= seg.dataEnd() {
 		seg.complete = true
-		m.stats.MatchedCalls++
-		m.stats.MatchedBlocks += int64(len(seg.blocks))
+		c.stats.MatchedCalls++
+		c.stats.MatchedBlocks += int64(len(seg.blocks))
 		if bytes := seg.dataEnd() - seg.off; bytes > 0 {
-			m.stats.MatchedBytes += bytes
+			c.stats.MatchedBytes += bytes
 		}
 		// Pop the completed prefix.
-		for m.head < len(m.hints) && (m.hints[m.head].complete || m.hints[m.head].cancelled) {
-			m.head++
+		for c.head < len(c.hints) && (c.hints[c.head].complete || c.hints[c.head].cancelled) {
+			c.head++
 		}
-		m.compact()
+		c.compact()
 	}
 }
 
 // compact reclaims consumed queue prefix space.
-func (m *Manager) compact() {
-	if m.head > 1024 && m.head*2 > len(m.hints) {
-		m.hints = append(m.hints[:0:0], m.hints[m.head:]...)
-		m.head = 0
+func (c *Client) compact() {
+	if c.head > 1024 && c.head*2 > len(c.hints) {
+		c.hints = append(c.hints[:0:0], c.hints[c.head:]...)
+		c.head = 0
 	}
 }
 
@@ -546,12 +756,13 @@ func (m *Manager) compact() {
 // done runs when every block is valid; if everything is already cached,
 // done is NOT called and Read returns true (the caller continues
 // synchronously — a cache hit costs no stall).
-func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (immediate bool) {
+func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func()) (immediate bool) {
+	m := c.m
 	bs := int64(m.fs.BlockSize())
 	first, last, ok := blockRange(f, off, n, bs)
-	m.stats.ReadCalls++
+	c.stats.ReadCalls++
 	if hinted && !m.cfg.IgnoreHints {
-		m.stats.HintedReadCalls++
+		c.stats.HintedReadCalls++
 	}
 	if !ok {
 		return true // zero-byte or EOF read: no I/O
@@ -561,12 +772,12 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (im
 	if end > f.Size() {
 		end = f.Size()
 	}
-	m.stats.ReadBlocks += nBlocks
-	m.stats.ReadBytes += end - off
+	c.stats.ReadBlocks += nBlocks
+	c.stats.ReadBytes += end - off
 	if hinted && !m.cfg.IgnoreHints {
-		m.stats.HintedReadBlocks += nBlocks
-		m.stats.HintedReadBytes += end - off
-		m.consume(f, off, n)
+		c.stats.HintedReadBlocks += nBlocks
+		c.stats.HintedReadBytes += end - off
+		c.consume(f, off, n)
 	}
 
 	remaining := 0
@@ -582,9 +793,11 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (im
 	// protection: a consumed block must age out by LRU like any other, or
 	// it would squat in the cache with a stale, ever-more-precious hint
 	// distance while fresh prefetches evict each other at the horizon tail.
+	// Protection held by a *different* client survives — that client has
+	// its own read coming.
 	touchConsumed := func(lb int64) {
 		m.cache.Touch(lb)
-		m.cache.SetHintDist(lb, cache.NoHint)
+		c.unprotect(lb)
 	}
 
 	type fetchPlan struct{ lb int64 }
@@ -629,7 +842,7 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (im
 				})
 				return true
 			}
-			if m.startFetch(lb, cache.OriginDemand, cache.NoHint) != fetchStarted {
+			if m.startFetch(c.id, lb, cache.OriginDemand, cache.NoHint) != fetchStarted {
 				return false
 			}
 			m.cache.Wait(lb, func() {
@@ -644,7 +857,7 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (im
 	}
 
 	if !hinted || m.cfg.IgnoreHints {
-		m.readahead(f, off, end, first, last)
+		c.readahead(f, off, end, first, last)
 	}
 
 	// Consuming a hint moves the horizon forward; fill it.
@@ -659,15 +872,18 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) (im
 
 // readahead implements the sequential read-ahead policy: on a sequential
 // read, prefetch approximately as many blocks as have been read
-// sequentially, up to ReadaheadMax.
-func (m *Manager) readahead(f *fsim.File, off, end, first, last int64) {
+// sequentially, up to ReadaheadMax. The run state is per client as well as
+// per file — two processes interleaving reads of one file must not corrupt
+// each other's sequentiality detection.
+func (c *Client) readahead(f *fsim.File, off, end, first, last int64) {
+	m := c.m
 	if m.cfg.ReadaheadMax == 0 {
 		return
 	}
-	st := m.ra[f.Ino()]
+	st := c.ra[f.Ino()]
 	if st == nil {
 		st = &raState{}
-		m.ra[f.Ino()] = st
+		c.ra[f.Ino()] = st
 	}
 	nBlocks := last - first + 1
 	if off == st.nextByte || off == 0 && st.nextByte == 0 {
@@ -686,10 +902,10 @@ func (m *Manager) readahead(f *fsim.File, off, end, first, last int64) {
 		if m.cache.Get(lb) != nil {
 			continue
 		}
-		if m.startFetch(lb, cache.OriginReadahead, cache.NoHint) != fetchStarted {
+		if m.startFetch(c.id, lb, cache.OriginReadahead, cache.NoHint) != fetchStarted {
 			return
 		}
-		m.stats.RAPrefetches++
+		c.stats.RAPrefetches++
 	}
 }
 
@@ -708,6 +924,9 @@ func (m *Manager) CachedRange(f *fsim.File, off, n int64) bool {
 	}
 	return true
 }
+
+// CachedRange delegates to the shared cache; see Manager.CachedRange.
+func (c *Client) CachedRange(f *fsim.File, off, n int64) bool { return c.m.CachedRange(f, off, n) }
 
 // FinishRun finalizes accounting at the end of a benchmark run.
 func (m *Manager) FinishRun() {

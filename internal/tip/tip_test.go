@@ -237,27 +237,27 @@ func TestBypassedSegmentsCountInaccurate(t *testing.T) {
 
 func TestAccuracyScalesHorizon(t *testing.T) {
 	r := newRig(t, smallTIP(), smallDisk())
-	if h := r.m.effHorizon(); h != 8 {
+	if h := r.m.def().effHorizon(); h != 8 {
 		t.Fatalf("initial effHorizon = %d, want full 8", h)
 	}
 	// Force poor recent accuracy: many bypassed, none matched.
 	for i := 0; i < 100; i++ {
-		r.m.accObserve(false, 1)
+		r.m.def().accObserve(false, 1)
 	}
-	if h := r.m.effHorizon(); h != r.m.cfg.MinHorizon {
+	if h := r.m.def().effHorizon(); h != r.m.cfg.MinHorizon {
 		t.Fatalf("effHorizon = %d with zero accuracy, want MinHorizon %d", h, r.m.cfg.MinHorizon)
 	}
 	for i := 0; i < 100; i++ {
-		r.m.accObserve(true, 1)
+		r.m.def().accObserve(true, 1)
 	}
-	if h := r.m.effHorizon(); h != 4 {
+	if h := r.m.def().effHorizon(); h != 4 {
 		t.Fatalf("effHorizon = %d at 50%% accuracy, want 4", h)
 	}
 	// The window decays: sustained good hints recover the horizon.
 	for i := 0; i < 2000; i++ {
-		r.m.accObserve(true, 1)
+		r.m.def().accObserve(true, 1)
 	}
-	if h := r.m.effHorizon(); h < 7 {
+	if h := r.m.def().effHorizon(); h < 7 {
 		t.Fatalf("effHorizon = %d after recovery, want near full", h)
 	}
 }
@@ -520,16 +520,16 @@ func TestAccuracyWindowRecovers(t *testing.T) {
 	r := newRig(t, smallTIP(), smallDisk())
 	// A flood of cancellations crushes the horizon...
 	for i := 0; i < 1000; i++ {
-		r.m.accObserve(false, 1)
+		r.m.def().accObserve(false, 1)
 	}
-	if r.m.effHorizon() != r.m.cfg.MinHorizon {
+	if r.m.def().effHorizon() != r.m.cfg.MinHorizon {
 		t.Fatal("horizon not floored after cancellation flood")
 	}
 	// ...but sustained matches bring it back (windowed, not lifetime).
 	for i := 0; i < 2000; i++ {
-		r.m.accObserve(true, 1)
+		r.m.def().accObserve(true, 1)
 	}
-	if h := r.m.effHorizon(); h < r.m.cfg.Horizon*3/4 {
+	if h := r.m.def().effHorizon(); h < r.m.cfg.Horizon*3/4 {
 		t.Fatalf("horizon %d did not recover (window broken)", h)
 	}
 }
