@@ -10,6 +10,7 @@
 //	tipbench -exp table4,table5 -scale sweep
 //	tipbench -exp all          # everything, including the heavy sweeps
 //	tipbench -exp quick        # everything except the heavy sweeps
+//	tipbench -exp multi -multimax 4 -json BENCH_multi.json
 package main
 
 import (
@@ -28,8 +29,14 @@ func main() {
 		expFlag   = flag.String("exp", "quick", "experiment id(s), comma separated; or 'all' / 'quick'")
 		scaleFlag = flag.String("scale", "full", "workload scale: full, sweep, or test")
 		listFlag  = flag.Bool("list", false, "list available experiments")
+		multiMax  = flag.Int("multimax", 0, "largest group size for the multi experiment (0 keeps the default)")
+		jsonFlag  = flag.String("json", "", "also write the multi sweep as JSON to this file")
 	)
 	flag.Parse()
+
+	if *multiMax > 0 {
+		bench.MultiMaxN = *multiMax
+	}
 
 	if *listFlag {
 		fmt.Println("available experiments:")
@@ -80,5 +87,18 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *jsonFlag != "" {
+		out, err := bench.MultiJSON(scale, bench.MultiMaxN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: multi json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonFlag, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonFlag)
 	}
 }

@@ -65,7 +65,14 @@ type Bundle struct {
 func Build(app App, scale Scale) (*Bundle, error) {
 	fs := fsim.New(8192)
 	workload.SetBenchLayout(fs)
+	return BuildOn(fs, app, scale)
+}
 
+// BuildOn assembles and transforms both variants of app over an existing
+// file system, populating it at the given scale. The multiprogramming layer
+// uses it to lay several processes' workloads onto one shared file system;
+// scale prefixes (see Scale.WithProcess) keep their file sets disjoint.
+func BuildOn(fs *fsim.FS, app App, scale Scale) (*Bundle, error) {
 	var origSrc, manSrc string
 	switch app {
 	case Agrep:
@@ -136,6 +143,25 @@ func SweepScale() Scale {
 	s := FullScale()
 	s.XDS.NumSlices = 12
 	s.Gnuld.NumFiles = 120
+	return s
+}
+
+// WithProcess returns the scale adjusted for process i of a multiprogrammed
+// group sharing one file system: every workload gets a per-process path
+// prefix (disjoint file sets — each process reads its own data, as in the
+// paper's multi-client TIP runs) and a seed offset (distinct content and
+// access patterns, so N processes are N different instances, not N replicas).
+func (s Scale) WithProcess(i int, seedStep int64) Scale {
+	step := int64(i) * seedStep
+	prefix := fmt.Sprintf("p%d/", i)
+	s.Agrep.Prefix = prefix
+	s.Agrep.Seed += step
+	s.Gnuld.Prefix = prefix
+	s.Gnuld.Seed += step
+	s.XDS.Prefix = prefix
+	s.XDS.Seed += step
+	s.Postgres.Prefix = prefix
+	s.Postgres.Seed += step
 	return s
 }
 

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+	"spechint/internal/multi"
+)
+
+// MultiMaxN bounds the multiprogramming sweep's largest group; tipbench's
+// -multimax flag overrides it.
+var MultiMaxN = 8
+
+// multiMix fixes process i's application across every group size, so the
+// N-process group is the (N-1)-process group plus one more process.
+var multiMix = []apps.App{apps.Agrep, apps.XDataSlice, apps.Postgres, apps.Gnuld}
+
+func multiSpecs(n int, mode core.Mode) []multi.ProcSpec {
+	specs := make([]multi.ProcSpec, n)
+	for i := range specs {
+		specs[i] = multi.ProcSpec{App: multiMix[i%len(multiMix)], Mode: mode}
+	}
+	return specs
+}
+
+// MultiProc is one process's outcome inside a speculating group.
+type MultiProc struct {
+	Name       string  `json:"name"`
+	App        string  `json:"app"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	SoloSec    float64 `json:"solo_sec"`
+	Slowdown   float64 `json:"slowdown"`
+	ReadCalls  int64   `json:"read_calls"`
+	HintCalls  int64   `json:"hint_calls"`
+}
+
+// MultiPoint is one group size of the multiprogramming sweep.
+type MultiPoint struct {
+	N              int         `json:"n"`
+	OrigSec        float64     `json:"orig_sec"`
+	SpecSec        float64     `json:"spec_sec"`
+	ImprovementPct float64     `json:"improvement_pct"`
+	Throughput     float64     `json:"throughput_procs_per_sec"`
+	Jain           float64     `json:"jain_fairness"`
+	Procs          []MultiProc `json:"procs"`
+}
+
+// multiSweep runs original and speculating groups at every size 1..maxN on
+// the shared testbed substrate. Per-process slowdown is measured against a
+// solo speculating run of the identical workload instance (same per-process
+// prefix and seeds, via FirstProcIndex), and those baselines are cached
+// across group sizes since process i's workload does not depend on N.
+func multiSweep(scale apps.Scale, maxN int) ([]MultiPoint, error) {
+	if maxN < 1 {
+		return nil, fmt.Errorf("bench: multi sweep needs maxN >= 1, got %d", maxN)
+	}
+	cfg := multi.DefaultConfig()
+	solo := map[int]float64{}
+	soloFor := func(i int) (float64, error) {
+		if s, ok := solo[i]; ok {
+			return s, nil
+		}
+		c := cfg
+		c.FirstProcIndex = i
+		g, err := multi.NewGroup(c, scale, []multi.ProcSpec{
+			{App: multiMix[i%len(multiMix)], Mode: core.ModeSpeculating},
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := g.Run()
+		if err != nil {
+			return 0, err
+		}
+		s := res.Procs[0].Stats.Seconds()
+		solo[i] = s
+		return s, nil
+	}
+
+	var points []MultiPoint
+	for n := 1; n <= maxN; n++ {
+		run := func(mode core.Mode) (*multi.Result, error) {
+			g, err := multi.NewGroup(cfg, scale, multiSpecs(n, mode))
+			if err != nil {
+				return nil, err
+			}
+			return g.Run()
+		}
+		orig, err := run(core.ModeNoHint)
+		if err != nil {
+			return nil, fmt.Errorf("bench: multi N=%d original: %w", n, err)
+		}
+		spec, err := run(core.ModeSpeculating)
+		if err != nil {
+			return nil, fmt.Errorf("bench: multi N=%d speculating: %w", n, err)
+		}
+
+		pt := MultiPoint{
+			N:          n,
+			OrigSec:    orig.Seconds(),
+			SpecSec:    spec.Seconds(),
+			Throughput: spec.Throughput(),
+		}
+		if pt.OrigSec > 0 {
+			pt.ImprovementPct = 100 * (pt.OrigSec - pt.SpecSec) / pt.OrigSec
+		}
+		var slowdowns []float64
+		for i, p := range spec.Procs {
+			base, err := soloFor(i)
+			if err != nil {
+				return nil, fmt.Errorf("bench: multi solo baseline p%d: %w", i, err)
+			}
+			mp := MultiProc{
+				Name:       p.Name,
+				App:        p.App.String(),
+				ElapsedSec: p.Stats.Seconds(),
+				SoloSec:    base,
+				ReadCalls:  p.Stats.ReadCalls,
+				HintCalls:  p.Stats.Tip.HintCalls,
+			}
+			if base > 0 {
+				mp.Slowdown = mp.ElapsedSec / base
+			}
+			slowdowns = append(slowdowns, mp.Slowdown)
+			pt.Procs = append(pt.Procs, mp)
+		}
+		pt.Jain = multi.JainIndex(slowdowns)
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Multi is the multiprogramming experiment: N mixed processes (Agrep,
+// XDataSlice, Postgres, Gnuld round-robin) share one TIP cache and disk
+// array, originals vs speculating builds, for N = 1..MultiMaxN. It reports
+// makespan for both modes, the improvement from speculation, completed
+// processes per second, and Jain's fairness index over per-process slowdowns
+// (turnaround in the group / turnaround running alone).
+func Multi(scale apps.Scale) (string, error) {
+	points, err := multiSweep(scale, MultiMaxN)
+	if err != nil {
+		return "", err
+	}
+
+	t := newTable("Multiprogramming: N mixed processes on one shared TIP (4 disks, 12 MB cache)")
+	t.row("N", "original (s)", "speculating (s)", "improvement", "throughput (proc/s)", "Jain fairness")
+	for _, pt := range points {
+		t.row(fmt.Sprintf("%d", pt.N),
+			fmt.Sprintf("%.2f", pt.OrigSec),
+			fmt.Sprintf("%.2f", pt.SpecSec),
+			pct(pt.ImprovementPct),
+			fmt.Sprintf("%.2f", pt.Throughput),
+			fmt.Sprintf("%.3f", pt.Jain))
+	}
+	out := t.String()
+
+	last := points[len(points)-1]
+	bt := newTable(fmt.Sprintf("\nPer-process breakdown at N=%d (speculating)", last.N))
+	bt.row("Process", "App", "elapsed (s)", "solo (s)", "slowdown", "reads", "hints")
+	for _, p := range last.Procs {
+		bt.row(p.Name, p.App,
+			fmt.Sprintf("%.2f", p.ElapsedSec),
+			fmt.Sprintf("%.2f", p.SoloSec),
+			fmt.Sprintf("%.2fx", p.Slowdown),
+			fmt.Sprintf("%d", p.ReadCalls),
+			fmt.Sprintf("%d", p.HintCalls))
+	}
+	return out + bt.String(), nil
+}
+
+// MultiJSON runs the sweep and returns it machine-readable (make bench
+// writes it to BENCH_multi.json).
+func MultiJSON(scale apps.Scale, maxN int) ([]byte, error) {
+	points, err := multiSweep(scale, maxN)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(struct {
+		Experiment string       `json:"experiment"`
+		MaxN       int          `json:"max_n"`
+		Points     []MultiPoint `json:"points"`
+	}{"multi", maxN, points}, "", "  ")
+}

@@ -262,6 +262,34 @@ func median(xs []int64) int64 {
 	return c[len(c)/2]
 }
 
+// Substrate is the shared I/O platform a System runs on: one virtual clock,
+// one file system, one disk array, and one TIP manager. A single-process run
+// owns a private substrate (New builds one); the multiprogramming layer
+// builds one explicitly and runs many Systems on it with NewOn.
+type Substrate struct {
+	Clk *sim.Queue
+	FS  *fsim.FS
+	Arr *disk.Array
+	TIP *tip.Manager
+}
+
+// NewSubstrate assembles a substrate over fs from disk and TIP configuration.
+func NewSubstrate(diskCfg disk.Config, tipCfg tip.Config, fs *fsim.FS) (*Substrate, error) {
+	if fs.BlockSize() != diskCfg.BlockSize {
+		return nil, fmt.Errorf("core: fs block size %d != disk block size %d", fs.BlockSize(), diskCfg.BlockSize)
+	}
+	clk := sim.NewQueue()
+	arr, err := disk.New(clk, diskCfg)
+	if err != nil {
+		return nil, err
+	}
+	tm, err := tip.New(clk, arr, fs, tipCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Substrate{Clk: clk, FS: fs, Arr: arr, TIP: tm}, nil
+}
+
 // System is one configured run: program + mode + substrate.
 type System struct {
 	cfg  Config
@@ -269,8 +297,20 @@ type System struct {
 	fs   *fsim.FS
 	arr  *disk.Array
 	tip  *tip.Manager
+	tipc *tip.Client // this process's hint stream
 	mach *vm.Machine
 	prog *vm.Program
+
+	name  string // label in multiprogramming diagnostics
+	owned bool   // the substrate is private to this System
+
+	// preempt, when set, overrides the strict-priority preemption test for
+	// the speculating thread: speculation yields mid-slice when it returns
+	// true. The default is "this System's original thread became Ready";
+	// the multiprogramming scheduler widens it to "any original thread
+	// became Ready", preserving the paper's contract that speculation uses
+	// only globally idle cycles.
+	preempt func() bool
 
 	orig    *vm.Thread
 	spec    *vm.Thread
@@ -297,20 +337,39 @@ type System struct {
 	events     []Event
 
 	stats          RunStats
+	final          *RunStats // cached by Finalize
 	lastOrigReadAt int64
 	lastSpecHintAt int64
 	sawSpecHint    bool
 	sawOrigRead    bool
 }
 
-// New builds a System for prog over fs. In ModeSpeculating the program must
-// be SpecHint-transformed; in the other modes it must not be.
+// New builds a System for prog over fs, on a private substrate. In
+// ModeSpeculating the program must be SpecHint-transformed; in the other
+// modes it must not be.
 func New(cfg Config, prog *vm.Program, fs *fsim.FS) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if fs.BlockSize() != cfg.Disk.BlockSize {
-		return nil, fmt.Errorf("core: fs block size %d != disk block size %d", fs.BlockSize(), cfg.Disk.BlockSize)
+	sub, err := NewSubstrate(cfg.Disk, cfg.TIP, fs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewOn(sub, cfg, prog, "app")
+	if err != nil {
+		return nil, err
+	}
+	s.owned = true
+	return s, nil
+}
+
+// NewOn builds a System for prog over an existing substrate, registering a
+// fresh TIP client for its hint stream. cfg.Disk and cfg.TIP are ignored —
+// the substrate already embodies them; everything else (mode, overheads,
+// throttles) applies per process. name labels the process in diagnostics.
+func NewOn(sub *Substrate, cfg Config, prog *vm.Program, name string) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	transformed := prog.ShadowBase > 0
 	if cfg.Mode == ModeSpeculating && !transformed {
@@ -320,16 +379,11 @@ func New(cfg Config, prog *vm.Program, fs *fsim.FS) (*System, error) {
 		return nil, fmt.Errorf("core: mode %v with a transformed program", cfg.Mode)
 	}
 
-	clk := sim.NewQueue()
-	arr, err := disk.New(clk, cfg.Disk)
-	if err != nil {
-		return nil, err
+	s := &System{
+		cfg: cfg, clk: sub.Clk, fs: sub.FS, arr: sub.Arr, tip: sub.TIP,
+		tipc: sub.TIP.NewClient(name), prog: prog, name: name,
 	}
-	tm, err := tip.New(clk, arr, fs, cfg.TIP)
-	if err != nil {
-		return nil, err
-	}
-	s := &System{cfg: cfg, clk: clk, fs: fs, arr: arr, tip: tm, prog: prog}
+	var err error
 	s.mach, err = vm.NewMachine(prog, s, cfg.Machine)
 	if err != nil {
 		return nil, err
@@ -350,6 +404,25 @@ func (s *System) Clock() *sim.Queue { return s.clk }
 
 // TIP exposes the prefetching manager (tests, tools).
 func (s *System) TIP() *tip.Manager { return s.tip }
+
+// TIPClient exposes this process's hint stream (the multiprogramming layer
+// closes it when the process exits).
+func (s *System) TIPClient() *tip.Client { return s.tipc }
+
+// Name returns the label given at NewOn ("app" for a private System).
+func (s *System) Name() string { return s.name }
+
+// SetPreempt overrides the speculating thread's mid-slice preemption test;
+// see the preempt field. Pass nil to restore the default.
+func (s *System) SetPreempt(fn func() bool) { s.preempt = fn }
+
+// preemptNow reports whether speculation must yield the CPU immediately.
+func (s *System) preemptNow() bool {
+	if s.preempt != nil {
+		return s.preempt()
+	}
+	return s.orig.State == vm.Ready
+}
 
 // Output returns everything the program printed.
 func (s *System) Output() string { return s.out.String() }

@@ -24,8 +24,8 @@ func (s *System) Syscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysControl 
 
 	if t.Mode == vm.Speculative {
 		v := s.specSyscall(m, t, code)
-		if v == vm.SysDone && s.orig.State == vm.Ready {
-			// A completion event woke the original thread mid-slice; the
+		if v == vm.SysDone && s.preemptNow() {
+			// A completion event woke an original thread mid-slice; the
 			// strict-priority policy preempts speculation immediately.
 			return vm.SysYield
 		}
@@ -102,7 +102,7 @@ func (s *System) origSyscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysCont
 
 	case vm.SysHintFD:
 		if f, _, errno := s.origFDs.File(t.Regs[vm.R1]); errno == fsim.OK {
-			s.tip.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
+			s.tipc.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
 			t.Regs[vm.R1] = 0
 		} else {
 			t.Regs[vm.R1] = int64(errno)
@@ -116,7 +116,7 @@ func (s *System) origSyscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysCont
 			return vm.SysFault
 		}
 		if f, ok := s.fs.Lookup(path); ok {
-			s.tip.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
+			s.tipc.HintSeg(f, t.Regs[vm.R2], t.Regs[vm.R3])
 			t.Regs[vm.R1] = 0
 		} else {
 			t.Regs[vm.R1] = int64(fsim.ENOENT)
@@ -124,7 +124,7 @@ func (s *System) origSyscall(m *vm.Machine, t *vm.Thread, code int64) vm.SysCont
 		return vm.SysDone
 
 	case vm.SysCancelAll:
-		s.tip.CancelAll()
+		s.tipc.CancelAll()
 		t.Regs[vm.R1] = 0
 		return vm.SysDone
 
@@ -200,7 +200,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 			s.trace(EvOffTrack, "at %s off=%d (log %d/%d)", file.Name, off, s.logNext, len(s.hintLog))
 		}
 	} else if s.cfg.Mode == ModeManual {
-		hinted = n > 0 && s.tip.Covered(file, off, reqLen)
+		hinted = n > 0 && s.tipc.Covered(file, off, reqLen)
 	}
 	if hinted {
 		s.stats.HintedReads++
@@ -208,7 +208,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	}
 	s.trace(EvRead, "%s off=%d len=%d hinted=%v", file.Name, off, reqLen, hinted)
 
-	immediate := s.tip.Read(file, off, reqLen, hinted, s.completeRead)
+	immediate := s.tipc.Read(file, off, reqLen, hinted, s.completeRead)
 	if immediate {
 		s.finishRead(t, file, fd, buf, off, n)
 		t.Regs[vm.R1] = n
@@ -330,7 +330,7 @@ func (s *System) specRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	}
 
 	if n > 0 {
-		s.tip.HintSeg(file, off, reqLen)
+		s.tipc.HintSeg(file, off, reqLen)
 		s.trace(EvHint, "%s off=%d len=%d", file.Name, off, reqLen)
 		now := s.busyNow(t)
 		if s.sawSpecHint {
@@ -339,7 +339,7 @@ func (s *System) specRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 		s.sawSpecHint = true
 		s.lastSpecHintAt = now
 
-		if s.tip.CachedRange(file, off, n) {
+		if s.tipc.CachedRange(file, off, n) {
 			if err := s.mach.WriteMem(t, buf, file.Data[off:off+n]); err != nil {
 				return vm.SysFault
 			}

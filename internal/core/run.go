@@ -19,7 +19,7 @@ const smpQuantum = 100_000
 
 // Run executes the application to completion and returns the run statistics.
 func (s *System) Run() (*RunStats, error) {
-	for s.orig.State != vm.Halted {
+	for !s.Done() {
 		if s.orig.Err != nil {
 			return nil, fmt.Errorf("core: original thread failed: %w", s.orig.Err)
 		}
@@ -27,12 +27,11 @@ func (s *System) Run() (*RunStats, error) {
 			return nil, fmt.Errorf("core: exceeded MaxCycles %d", s.cfg.MaxCycles)
 		}
 
-		var th *vm.Thread
+		runOrig := false
 		switch {
-		case s.orig.State == vm.Ready:
-			th = s.orig
-		case s.specRunnable():
-			th = s.spec
+		case s.OrigReady():
+			runOrig = true
+		case s.SpecRunnable():
 		default:
 			// Both threads idle: advance to the next event (a disk
 			// completion that will wake the original thread).
@@ -53,41 +52,71 @@ func (s *System) Run() (*RunStats, error) {
 
 		// Dual-processor mode: while the original thread computes, the
 		// speculating thread runs concurrently on the second processor.
-		parallelSpec := s.cfg.DualProcessor && th == s.orig && s.specRunnable()
+		parallelSpec := s.cfg.DualProcessor && runOrig && s.SpecRunnable()
 		if parallelSpec && budget > smpQuantum {
 			budget = smpQuantum
 		}
 
-		start := s.clk.Now()
-		if th == s.spec && s.restartWork(start, budget, true) {
-			continue
-		}
-
-		s.sliceStart = start
-		used, stop := s.mach.Run(th, budget)
-		s.clk.AdvanceTo(start + sim.Time(used))
-		if th == s.orig {
-			s.stats.OrigBusy += used
-		} else {
-			s.stats.SpecBusy += used
-		}
-
-		switch stop {
-		case vm.StopError:
-			return nil, fmt.Errorf("core: %s thread error: %w", th.Name, th.Err)
-		case vm.StopFault:
-			// Only the speculating thread faults (normal-mode exceptions
-			// surface as StopError); it stays parked until the next restart.
-			s.trace(EvSignal, "speculation faulted at PC %d", th.PC)
-		case vm.StopBudget, vm.StopBlocked, vm.StopHalted, vm.StopYield:
-			// Return to the scheduling loop.
-		}
-
-		if parallelSpec && used > 0 {
-			s.runSpecWindow(start, used)
+		if runOrig {
+			start := s.clk.Now()
+			used, err := s.StepOrig(budget)
+			if err != nil {
+				return nil, err
+			}
+			if parallelSpec && used > 0 {
+				s.runSpecWindow(start, used)
+			}
+		} else if _, err := s.StepSpec(budget); err != nil {
+			return nil, err
 		}
 	}
-	return s.finalize(), nil
+	return s.Finalize(), nil
+}
+
+// Done reports whether the application has exited.
+func (s *System) Done() bool { return s.orig.State == vm.Halted }
+
+// OrigReady reports whether the original thread can use the CPU now.
+func (s *System) OrigReady() bool { return s.orig.State == vm.Ready }
+
+// StepOrig runs the original thread for at most budget cycles and advances
+// the clock by the cycles it actually used. The caller (Run, or the
+// multiprogramming scheduler) owns event dispatch: it must only call StepOrig
+// with a budget no larger than the gap to the next pending event.
+func (s *System) StepOrig(budget int64) (used int64, err error) {
+	start := s.clk.Now()
+	s.sliceStart = start
+	used, stop := s.mach.Run(s.orig, budget)
+	s.clk.AdvanceTo(start + sim.Time(used))
+	s.stats.OrigBusy += used
+	if stop == vm.StopError {
+		return used, fmt.Errorf("core: %s thread error: %w", s.orig.Name, s.orig.Err)
+	}
+	return used, nil
+}
+
+// StepSpec gives the speculating thread at most budget cycles — restart-
+// protocol work first, then shadow-code execution — advancing the clock by
+// the cycles consumed. Like StepOrig, the budget must not cross the next
+// pending event.
+func (s *System) StepSpec(budget int64) (used int64, err error) {
+	start := s.clk.Now()
+	if s.restartWork(start, budget, true) {
+		return int64(s.clk.Now() - start), nil
+	}
+	s.sliceStart = start
+	used, stop := s.mach.Run(s.spec, budget)
+	s.clk.AdvanceTo(start + sim.Time(used))
+	s.stats.SpecBusy += used
+	switch stop {
+	case vm.StopError:
+		return used, fmt.Errorf("core: %s thread error: %w", s.spec.Name, s.spec.Err)
+	case vm.StopFault:
+		// Only the speculating thread faults (normal-mode exceptions
+		// surface as StopError); it stays parked until the next restart.
+		s.trace(EvSignal, "speculation faulted at PC %d", s.spec.PC)
+	}
+	return used, nil
 }
 
 // runSpecWindow gives the speculating thread a wall window of `window`
@@ -95,7 +124,7 @@ func (s *System) Run() (*RunStats, error) {
 // the clock has already accounted. Restart work and execution both charge
 // against the window.
 func (s *System) runSpecWindow(start sim.Time, window int64) {
-	for window > 0 && s.specRunnable() {
+	for window > 0 && s.SpecRunnable() {
 		if s.restartPending && s.restartRemaining == 0 {
 			if !s.beginRestart(s.clk.Now()) {
 				return // throttled
@@ -127,8 +156,8 @@ func (s *System) runSpecWindow(start sim.Time, window int64) {
 	}
 }
 
-// specRunnable reports whether the speculating thread can use the CPU now.
-func (s *System) specRunnable() bool {
+// SpecRunnable reports whether the speculating thread can use the CPU now.
+func (s *System) SpecRunnable() bool {
 	if s.cfg.Mode != ModeSpeculating {
 		return false
 	}
@@ -179,7 +208,7 @@ func (s *System) restartWork(start sim.Time, budget int64, advanceClock bool) bo
 func (s *System) beginRestart(start sim.Time) bool {
 	s.restartPending = false
 	s.stats.Restarts++
-	s.tip.CancelAll()
+	s.tipc.CancelAll()
 	s.hintLog = s.hintLog[:s.logNext]
 	s.spec.Cow.Reset()
 	s.mach.ResetSpecBrk()
@@ -203,7 +232,7 @@ func (s *System) beginRestart(start sim.Time) bool {
 		if threshold == 0 {
 			threshold = 0.2
 		}
-		if s.tip.Accuracy() < threshold {
+		if s.tipc.Accuracy() < threshold {
 			if s.backoffCycles == 0 {
 				s.backoffCycles = s.cfg.AdaptiveBackoff
 				if s.backoffCycles == 0 {
@@ -257,10 +286,20 @@ func (s *System) finishRestart() {
 	s.trace(EvRestart, "resume at shadow PC %d, result %d", s.spec.PC, s.savedResult)
 }
 
-// finalize closes out accounting and assembles the run statistics.
-func (s *System) finalize() *RunStats {
-	s.tip.FinishRun()
+// Finalize closes out accounting and assembles the run statistics. It is
+// idempotent; the multiprogramming scheduler calls it the moment a process
+// exits, so Elapsed is that process's own completion time. Tip counters are
+// this process's hint stream; Cache and Disk are substrate-wide (identical
+// on a private substrate).
+func (s *System) Finalize() *RunStats {
+	if s.final != nil {
+		return s.final
+	}
+	if s.owned {
+		s.tip.FinishRun()
+	}
 	st := &s.stats
+	s.final = st
 	st.Elapsed = s.clk.Now()
 	st.ExitCode = s.orig.ExitCode
 	st.OrigInstrs = s.orig.Instrs
@@ -268,7 +307,7 @@ func (s *System) finalize() *RunStats {
 		st.SpecInstrs = s.spec.Instrs
 		st.SpecSignals = s.spec.Signals
 	}
-	st.Tip = s.tip.Stats()
+	st.Tip = s.tipc.Stats()
 	st.Cache = s.tip.Cache().Stats()
 	st.Disk = s.arr.Stats()
 	st.Pages = s.mach.Pages()

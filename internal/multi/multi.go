@@ -1,0 +1,301 @@
+// Package multi is the multiprogramming layer: it runs N concurrent
+// processes — any mix of the benchmark applications in any mode — on one
+// shared substrate (one virtual clock, one disk array, one file system, one
+// TIP manager and block cache), which is the regime the paper's TIP was
+// actually built for.
+//
+// Scheduling is deterministic round-robin over the original threads with a
+// fixed CPU quantum. Speculating threads preserve the paper's strict-priority
+// contract *globally*: speculation consumes cycles only when every original
+// thread in the group is blocked, and it is preempted mid-slice the moment
+// any original thread wakes. Each process holds its own TIP client, so hint
+// streams, accuracy estimates and CANCEL_ALLs stay per process while the
+// cache arbitrates buffers between them by cost-benefit (see internal/tip and
+// internal/cache).
+package multi
+
+import (
+	"fmt"
+
+	"spechint/internal/apps"
+	"spechint/internal/cache"
+	"spechint/internal/core"
+	"spechint/internal/disk"
+	"spechint/internal/fsim"
+	"spechint/internal/sim"
+	"spechint/internal/tip"
+	"spechint/internal/workload"
+)
+
+// ProcSpec names one process of the group.
+type ProcSpec struct {
+	App  apps.App
+	Mode core.Mode
+}
+
+func (p ProcSpec) String() string { return fmt.Sprintf("%v/%v", p.App, p.Mode) }
+
+// Config assembles a process group.
+type Config struct {
+	Disk disk.Config // the shared array
+	TIP  tip.Config  // the shared manager + cache
+
+	// Quantum is the round-robin CPU slice in cycles (default 100_000,
+	// ~0.4 ms of testbed time).
+	Quantum int64
+
+	// SeedStep offsets each process's workload seeds so N processes run N
+	// distinct workload instances (default 101).
+	SeedStep int64
+
+	// FirstProcIndex numbers the group's processes starting here (default
+	// 0). Solo baseline runs use it to rebuild process i's exact workload
+	// — same prefix, same seeds — in a group of one.
+	FirstProcIndex int
+
+	// MaxCycles aborts a runaway simulation. Zero means no limit.
+	MaxCycles int64
+}
+
+// DefaultConfig mirrors the paper's testbed: four disks, 12 MB shared cache.
+func DefaultConfig() Config {
+	return Config{
+		Disk:     core.TestbedDisk(4),
+		TIP:      tip.DefaultConfig(),
+		Quantum:  100_000,
+		SeedStep: 101,
+	}
+}
+
+// proc is one scheduled process.
+type proc struct {
+	spec  ProcSpec
+	name  string
+	sys   *core.System
+	stats *core.RunStats // set when the process exits
+}
+
+// Group is a configured multiprogramming run.
+type Group struct {
+	cfg   Config
+	sub   *core.Substrate
+	procs []*proc
+
+	rrOrig int // round-robin pointers (original threads, speculating threads)
+	rrSpec int
+}
+
+// NewGroup builds the shared substrate, lays each process's workload onto
+// the shared file system (disjoint per-process file sets, offset seeds), and
+// instantiates one core.System per process.
+func NewGroup(cfg Config, scale apps.Scale, specs []ProcSpec) (*Group, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("multi: empty process list")
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 100_000
+	}
+	if cfg.SeedStep == 0 {
+		cfg.SeedStep = 101
+	}
+
+	fs := fsim.New(cfg.Disk.BlockSize)
+	workload.SetBenchLayout(fs)
+	sub, err := core.NewSubstrate(cfg.Disk, cfg.TIP, fs)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{cfg: cfg, sub: sub}
+
+	for i, spec := range specs {
+		idx := cfg.FirstProcIndex + i
+		ps := scale.WithProcess(idx, cfg.SeedStep)
+		b, err := apps.BuildOn(fs, spec.App, ps)
+		if err != nil {
+			return nil, fmt.Errorf("multi: p%d %v: %w", idx, spec, err)
+		}
+		var prog = b.Original
+		switch spec.Mode {
+		case core.ModeSpeculating:
+			prog = b.Transformed
+		case core.ModeManual:
+			prog = b.Manual
+		}
+		ccfg := core.DefaultConfig(spec.Mode)
+		ccfg.Disk = cfg.Disk // documented as ignored by NewOn; kept coherent
+		ccfg.TIP = cfg.TIP
+		ccfg.MaxCycles = 0 // the group enforces its own limit
+		name := fmt.Sprintf("p%d:%v", idx, spec)
+		sys, err := core.NewOn(sub, ccfg, prog, name)
+		if err != nil {
+			return nil, fmt.Errorf("multi: p%d %v: %w", idx, spec, err)
+		}
+		sys.SetPreempt(g.anyOrigReady)
+		g.procs = append(g.procs, &proc{spec: spec, name: name, sys: sys})
+	}
+	return g, nil
+}
+
+// anyOrigReady is the group-wide strict-priority test: speculation must
+// yield whenever ANY original thread can use the CPU.
+func (g *Group) anyOrigReady() bool {
+	for _, p := range g.procs {
+		if !p.sys.Done() && p.sys.OrigReady() {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Group) allDone() bool {
+	for _, p := range g.procs {
+		if !p.sys.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// nextReadyOrig picks the next Ready original thread in round-robin order,
+// advancing the pointer past the pick.
+func (g *Group) nextReadyOrig() *proc {
+	n := len(g.procs)
+	for k := 0; k < n; k++ {
+		p := g.procs[(g.rrOrig+k)%n]
+		if !p.sys.Done() && p.sys.OrigReady() {
+			g.rrOrig = (g.rrOrig + k + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// nextRunnableSpec picks the next runnable speculating thread round-robin.
+func (g *Group) nextRunnableSpec() *proc {
+	n := len(g.procs)
+	for k := 0; k < n; k++ {
+		p := g.procs[(g.rrSpec+k)%n]
+		if !p.sys.Done() && p.sys.SpecRunnable() {
+			g.rrSpec = (g.rrSpec + k + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// retire finalizes a process the moment it exits, releasing its hint stream
+// so its cache partition redistributes to the survivors.
+func (g *Group) retire(p *proc) {
+	if p.stats != nil {
+		return
+	}
+	p.stats = p.sys.Finalize()
+	p.sys.TIPClient().Close()
+}
+
+// Run executes the group to completion. Scheduling policy, in priority
+// order every iteration: (1) dispatch due events, (2) the next Ready
+// original thread gets a quantum, (3) only if no original thread anywhere
+// can run, the next runnable speculating thread gets the idle gap, (4)
+// otherwise advance the clock.
+func (g *Group) Run() (*Result, error) {
+	for !g.allDone() {
+		if g.cfg.MaxCycles > 0 && int64(g.sub.Clk.Now()) > g.cfg.MaxCycles {
+			return nil, fmt.Errorf("multi: exceeded MaxCycles %d", g.cfg.MaxCycles)
+		}
+
+		budget := g.cfg.Quantum
+		if at, ok := g.sub.Clk.PeekTime(); ok {
+			gap := int64(at - g.sub.Clk.Now())
+			if gap <= 0 {
+				g.sub.Clk.RunNext()
+				continue
+			}
+			if gap < budget {
+				budget = gap
+			}
+		}
+
+		if p := g.nextReadyOrig(); p != nil {
+			if _, err := p.sys.StepOrig(budget); err != nil {
+				return nil, fmt.Errorf("multi: %s: %w", p.name, err)
+			}
+			if p.sys.Done() {
+				g.retire(p)
+			}
+			continue
+		}
+		if p := g.nextRunnableSpec(); p != nil {
+			if _, err := p.sys.StepSpec(budget); err != nil {
+				return nil, fmt.Errorf("multi: %s: %w", p.name, err)
+			}
+			continue
+		}
+		if !g.sub.Clk.RunNext() {
+			return nil, fmt.Errorf("multi: deadlock — no thread runnable, no pending events")
+		}
+	}
+
+	g.sub.TIP.FinishRun()
+	res := &Result{Makespan: g.sub.Clk.Now()}
+	res.Tip = g.sub.TIP.Stats()
+	res.Cache = g.sub.TIP.Cache().Stats()
+	res.Disk = g.sub.Arr.Stats()
+	for _, p := range g.procs {
+		res.Procs = append(res.Procs, ProcResult{
+			Name: p.name, App: p.spec.App, Mode: p.spec.Mode, Stats: p.stats,
+		})
+	}
+	return res, nil
+}
+
+// ProcResult is one process's outcome. Stats.Elapsed is the process's own
+// completion time (its turnaround under contention); Stats.Tip is its private
+// hint stream.
+type ProcResult struct {
+	Name  string
+	App   apps.App
+	Mode  core.Mode
+	Stats *core.RunStats
+}
+
+// Result is the group outcome.
+type Result struct {
+	Procs    []ProcResult
+	Makespan sim.Time // completion time of the last process
+
+	// Substrate-wide aggregates.
+	Tip   tip.Stats
+	Cache cache.Stats
+	Disk  disk.Stats
+}
+
+// Seconds converts the makespan to testbed seconds.
+func (r *Result) Seconds() float64 { return float64(r.Makespan) / core.CPUHz }
+
+// Throughput returns completed processes per testbed second.
+func (r *Result) Throughput() float64 {
+	s := r.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(len(r.Procs)) / s
+}
+
+// JainIndex is Jain's fairness index over xs: (Σx)² / (n·Σx²), 1.0 when all
+// values are equal, approaching 1/n when one dominates. The multi experiment
+// applies it to per-process slowdowns.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

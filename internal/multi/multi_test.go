@@ -1,0 +1,158 @@
+package multi
+
+import (
+	"math"
+	"testing"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+)
+
+// mixedSpecs is the standard mixed workload: one process per application.
+func mixedSpecs(n int, mode core.Mode) []ProcSpec {
+	mix := []apps.App{apps.Agrep, apps.XDataSlice, apps.Postgres, apps.Gnuld}
+	specs := make([]ProcSpec, n)
+	for i := range specs {
+		specs[i] = ProcSpec{App: mix[i%len(mix)], Mode: mode}
+	}
+	return specs
+}
+
+func runGroup(t *testing.T, cfg Config, specs []ProcSpec) *Result {
+	t.Helper()
+	g, err := NewGroup(cfg, apps.TestScale(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGroupDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	specs := mixedSpecs(3, core.ModeSpeculating)
+	a := runGroup(t, cfg, specs)
+	b := runGroup(t, cfg, specs)
+
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan differs across identical runs: %d vs %d", a.Makespan, b.Makespan)
+	}
+	if a.Disk != b.Disk {
+		t.Errorf("disk stats differ: %+v vs %+v", a.Disk, b.Disk)
+	}
+	if a.Tip != b.Tip {
+		t.Errorf("tip stats differ: %+v vs %+v", a.Tip, b.Tip)
+	}
+	for i := range a.Procs {
+		sa, sb := a.Procs[i].Stats, b.Procs[i].Stats
+		if sa.Elapsed != sb.Elapsed || sa.ReadCalls != sb.ReadCalls || sa.Restarts != sb.Restarts {
+			t.Errorf("proc %d differs: elapsed %d/%d reads %d/%d restarts %d/%d",
+				i, sa.Elapsed, sb.Elapsed, sa.ReadCalls, sb.ReadCalls, sa.Restarts, sb.Restarts)
+		}
+	}
+}
+
+// TestSpeculationBeatsOriginalAtN4 is the ISSUE's acceptance run: a 4-process
+// mixed workload on the 12 MB shared cache. The speculating builds must
+// finish sooner in aggregate than the originals, and no process's hinted
+// blocks may be evicted by another process's unhinted LRU traffic.
+func TestSpeculationBeatsOriginalAtN4(t *testing.T) {
+	cfg := DefaultConfig() // testbed: 4 disks, 12 MB cache
+	orig := runGroup(t, cfg, mixedSpecs(4, core.ModeNoHint))
+	spec := runGroup(t, cfg, mixedSpecs(4, core.ModeSpeculating))
+
+	var origAgg, specAgg int64
+	for i := range orig.Procs {
+		origAgg += int64(orig.Procs[i].Stats.Elapsed)
+		specAgg += int64(spec.Procs[i].Stats.Elapsed)
+	}
+	if specAgg >= origAgg {
+		t.Errorf("aggregate elapsed: speculating %d >= original %d", specAgg, origAgg)
+	}
+	if spec.Makespan >= orig.Makespan {
+		t.Errorf("makespan: speculating %d >= original %d", spec.Makespan, orig.Makespan)
+	}
+
+	// The isolation contract, across both runs: unhinted traffic never took
+	// another process's hinted block.
+	if n := orig.Cache.UnhintedCrossEvicts; n != 0 {
+		t.Errorf("original run: %d unhinted cross-owner evictions", n)
+	}
+	if n := spec.Cache.UnhintedCrossEvicts; n != 0 {
+		t.Errorf("speculating run: %d unhinted cross-owner evictions", n)
+	}
+
+	// Sanity: the speculating run actually speculated.
+	var restarts, hints int64
+	for _, p := range spec.Procs {
+		restarts += p.Stats.Restarts
+		hints += p.Stats.Tip.HintCalls
+	}
+	if hints == 0 {
+		t.Error("speculating group issued no hints")
+	}
+	_ = restarts
+}
+
+func TestGroupOutputsMatchSolo(t *testing.T) {
+	// Each process of a group must compute the same answer it computes when
+	// run alone (same prefix and seeds via FirstProcIndex).
+	cfg := DefaultConfig()
+	group := runGroup(t, cfg, mixedSpecs(2, core.ModeSpeculating))
+	for i, p := range group.Procs {
+		solo := cfg
+		solo.FirstProcIndex = i
+		sres := runGroup(t, solo, []ProcSpec{{App: p.App, Mode: core.ModeSpeculating}})
+		if sres.Procs[0].Stats.Output != p.Stats.Output {
+			t.Errorf("p%d (%v) output differs between group and solo run", i, p.App)
+		}
+		if sres.Procs[0].Stats.ExitCode != p.Stats.ExitCode {
+			t.Errorf("p%d (%v) exit code differs: solo %d group %d",
+				i, p.App, sres.Procs[0].Stats.ExitCode, p.Stats.ExitCode)
+		}
+	}
+}
+
+func TestSlowdownUnderContention(t *testing.T) {
+	// Turnaround under contention must not be better than solo (the group
+	// shares one CPU), and the group must beat running the procs back to
+	// back (otherwise multiprogramming overlapped nothing).
+	cfg := DefaultConfig()
+	group := runGroup(t, cfg, mixedSpecs(3, core.ModeNoHint))
+	var soloSum int64
+	for i, p := range group.Procs {
+		solo := cfg
+		solo.FirstProcIndex = i
+		sres := runGroup(t, solo, []ProcSpec{{App: p.App, Mode: core.ModeNoHint}})
+		soloT, groupT := sres.Procs[0].Stats.Elapsed, p.Stats.Elapsed
+		soloSum += int64(soloT)
+		if groupT < soloT {
+			t.Errorf("p%d (%v) ran faster under contention: %d < %d", i, p.App, groupT, soloT)
+		}
+	}
+	if int64(group.Makespan) >= soloSum {
+		t.Errorf("makespan %d >= serial sum %d: no overlap from multiprogramming", group.Makespan, soloSum)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{2, 2, 2, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal values: %v, want 1", got)
+	}
+	got := JainIndex([]float64{1, 0, 0, 0})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("single dominant: %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 {
+		t.Error("empty: want 0")
+	}
+}
+
+func TestNewGroupRejectsEmpty(t *testing.T) {
+	if _, err := NewGroup(DefaultConfig(), apps.TestScale(), nil); err == nil {
+		t.Fatal("empty process list accepted")
+	}
+}

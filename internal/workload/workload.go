@@ -49,6 +49,7 @@ type AgrepSpec struct {
 	Pattern  string // needle; planted Plants times across the corpus
 	Plants   int
 	Seed     int64
+	Prefix   string // path prefix, so several corpora can share one FS
 }
 
 // DefaultAgrep is the paper's Agrep workload at ~1:7 scale: many small
@@ -75,7 +76,7 @@ func (s AgrepSpec) Build(fs *fsim.FS) []string {
 		if plantIn[i] && len(data) > len(s.Pattern)+2 {
 			copy(data[rng.Intn(len(data)-len(s.Pattern)-1)+1:], s.Pattern)
 		}
-		name := fmt.Sprintf("kernel/src/%03d/file%04d.c", i/50, i)
+		name := fmt.Sprintf("%skernel/src/%03d/file%04d.c", s.Prefix, i/50, i)
 		fs.MustCreate(name, data)
 		names = append(names, name)
 	}
@@ -155,6 +156,7 @@ type GnuldSpec struct {
 	SymtabSize  int // bytes (first NDebug words hold debug chunk offsets)
 	StrtabSize  int
 	Seed        int64
+	Prefix      string // path prefix, so several object sets can share one FS
 }
 
 // DefaultGnuld is the paper's link of 562 objects at ~1:2.3 scale. Sizes are
@@ -178,7 +180,7 @@ func (s GnuldSpec) Build(fs *fsim.FS) []string {
 	rng := rand.New(rand.NewSource(s.Seed))
 	names := make([]string, 0, s.NumFiles)
 	for i := 0; i < s.NumFiles; i++ {
-		name := fmt.Sprintf("obj/unit%04d.o", i)
+		name := fmt.Sprintf("%sobj/unit%04d.o", s.Prefix, i)
 		fs.MustCreate(name, s.object(rng))
 		names = append(names, name)
 	}
@@ -262,6 +264,7 @@ type XDSSpec struct {
 	N         int // volume is N^3 32-bit elements
 	NumSlices int
 	Seed      int64
+	Prefix    string // path prefix, so several volumes can share one FS
 }
 
 // DefaultXDS is the paper's exact XDataSlice geometry: 25 random slices
@@ -298,7 +301,7 @@ func (s XDSSpec) Build(fs *fsim.FS) (string, []Slice) {
 	for b := int64(DataOffset); b < size; b += 8192 {
 		binary.LittleEndian.PutUint64(data[b:], uint64(b/8192*2654435761))
 	}
-	name := "viz/dataset.vol"
+	name := s.Prefix + "viz/dataset.vol"
 	fs.MustCreate(name, data)
 
 	slices := make([]Slice, s.NumSlices)
@@ -352,6 +355,7 @@ type PostgresSpec struct {
 	InnerSize   int // bytes per inner tuple
 	Selectivity int // percent of outer tuples that match
 	Seed        int64
+	Prefix      string // path prefix, so several databases can share one FS
 }
 
 // OuterTupleSize is the fixed outer-relation tuple size: key, inner tid (or
@@ -391,7 +395,7 @@ func (s PostgresSpec) Build(fs *fsim.FS) (outer, inner string) {
 	for i := 0; i < s.InnerTuples; i += 1 {
 		binary.LittleEndian.PutUint64(id[i*s.InnerSize:], uint64(i*2654435761))
 	}
-	outer, inner = "db/outer.rel", "db/inner.rel"
+	outer, inner = s.Prefix+"db/outer.rel", s.Prefix+"db/inner.rel"
 	fs.MustCreate(outer, od)
 	fs.MustCreate(inner, id)
 	return outer, inner
