@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint ci bench
+.PHONY: all build test race vet fmt lint ci bench
 
 all: build
 
@@ -16,13 +16,19 @@ race:
 vet:
 	$(GO) vet ./...
 
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # lint runs the shadow-text verifier over every benchmark app's transformed
 # binary; a nonzero exit means a transform invariant does not hold.
 lint:
 	$(GO) run ./cmd/spechint -app all -lint
 	$(GO) run ./cmd/spechint -app all -lint -no-stack-opt
 
-ci: vet build race lint
+ci: vet fmt build race lint
 
+# bench regenerates the multiprogramming sweep and writes the results as
+# machine-readable JSON (full scale: expect minutes).
 bench:
-	$(GO) test -v ./internal/bench/...
+	$(GO) run ./cmd/tipbench -exp multi -json BENCH_multi.json

@@ -9,12 +9,14 @@
 //	specrun -file prog.s -mode spec              # transform + speculate
 //	specrun -file prog.s -mode spec -dual        # §5 multiprocessor
 //	specrun -file prog.s -dir ./inputs -disks 8  # host files -> sim fs
+//	specrun -file prog.s -mode spec -json        # stats as JSON on stdout
 //
 // Files from -dir are loaded into the simulated file system under their
 // relative paths, so the program's open() calls can name them directly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -38,6 +40,7 @@ func main() {
 		dual  = flag.Bool("dual", false, "run speculation on a second processor")
 		quiet = flag.Bool("q", false, "suppress the program's own output")
 		trace = flag.Int("trace", 0, "print up to N timeline events (reads, hints, restarts)")
+		jsonF = flag.Bool("json", false, "emit the run's statistics as JSON on stdout")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -94,6 +97,19 @@ func main() {
 	st, err := sys.Run()
 	if err != nil {
 		fail(err)
+	}
+
+	if *jsonF {
+		out, err := json.MarshalIndent(struct {
+			Mode    string         `json:"mode"`
+			Seconds float64        `json:"seconds"`
+			Stats   *core.RunStats `json:"stats"`
+		}{m.String(), st.Seconds(), st}, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(out))
+		os.Exit(int(st.ExitCode & 0x7f))
 	}
 
 	if !*quiet && st.Output != "" {

@@ -83,7 +83,7 @@ type Def struct {
 // there.
 type ReachingDefs struct {
 	g    *CFG
-	defs []Def   // def index -> site
+	defs []Def     // def index -> site
 	in   []defBits // per block: defs reaching block entry
 }
 

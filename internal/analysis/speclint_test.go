@@ -108,8 +108,8 @@ func TestLintCorruptions(t *testing.T) {
 			return n + 5
 		}, LintOutput},
 		{"unrewritten jump table", func(p *vm.Program, n int64) int64 {
-			p.Text[n+7].Op = vm.LDW                       // revert the table load
-			p.Text[n+8] = vm.Instr{Op: vm.JR, Rs1: 11}    // revert jtr -> jr
+			p.Text[n+7].Op = vm.LDW                    // revert the table load
+			p.Text[n+8] = vm.Instr{Op: vm.JR, Rs1: 11} // revert jtr -> jr
 			return n + 8
 		}, LintJumpTable},
 		{"corrupt jump-table entry", func(p *vm.Program, n int64) int64 {

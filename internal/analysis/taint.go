@@ -76,8 +76,8 @@ type aval struct {
 	t      Taint // vAddr (element choice) and vTaint
 }
 
-func constV(k int64) aval      { return aval{kind: vConst, k: k} }
-func taintV(t Taint) aval      { return aval{kind: vTaint, t: t} }
+func constV(k int64) aval       { return aval{kind: vConst, k: k} }
+func taintV(t Taint) aval       { return aval{kind: vTaint, t: t} }
 func addrV(r int, t Taint) aval { return aval{kind: vAddr, region: r, t: t} }
 
 // taintOf is the taint of the value itself. A known pointer is statically
