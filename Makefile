@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint ci bench
+.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench
 
 all: build
 
@@ -26,7 +26,15 @@ lint:
 	$(GO) run ./cmd/spechint -app all -lint
 	$(GO) run ./cmd/spechint -app all -lint -no-stack-opt
 
-ci: vet fmt build race lint
+# fuzz runs the native fault-containment fuzz target for a short budget.
+fuzz:
+	$(GO) test -fuzz=FuzzRun -fuzztime=10s -run '^$$' ./internal/core
+
+# smoke runs the fault-injection degradation sweep at test scale.
+smoke-faults:
+	$(GO) run ./cmd/tipbench -exp faults -scale test -json BENCH_faults_test.json
+
+ci: vet fmt build race lint smoke-faults fuzz
 
 # bench regenerates the multiprogramming sweep and writes the results as
 # machine-readable JSON (full scale: expect minutes).

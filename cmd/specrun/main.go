@@ -10,6 +10,8 @@
 //	specrun -file prog.s -mode spec -dual        # §5 multiprocessor
 //	specrun -file prog.s -dir ./inputs -disks 8  # host files -> sim fs
 //	specrun -file prog.s -mode spec -json        # stats as JSON on stdout
+//	specrun -file prog.s -faults rate=0.05,seed=7  # inject disk faults
+//	specrun -file prog.s -deadline 500000000     # abort after 5e8 cycles (exit 3)
 //
 // Files from -dir are loaded into the simulated file system under their
 // relative paths, so the program's open() calls can name them directly.
@@ -17,14 +19,17 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"spechint/internal/asm"
 	"spechint/internal/core"
+	"spechint/internal/fault"
 	"spechint/internal/fsim"
 	"spechint/internal/spechint"
 	"spechint/internal/workload"
@@ -32,15 +37,18 @@ import (
 
 func main() {
 	var (
-		file  = flag.String("file", "", "assembly source file (required)")
-		mode  = flag.String("mode", "orig", "orig, spec, or manual")
-		disks = flag.Int("disks", 4, "disks in the array")
-		cache = flag.Int("cache", 12, "file cache size in MB")
-		dir   = flag.String("dir", "", "host directory to load into the simulated fs")
-		dual  = flag.Bool("dual", false, "run speculation on a second processor")
-		quiet = flag.Bool("q", false, "suppress the program's own output")
-		trace = flag.Int("trace", 0, "print up to N timeline events (reads, hints, restarts)")
-		jsonF = flag.Bool("json", false, "emit the run's statistics as JSON on stdout")
+		file   = flag.String("file", "", "assembly source file (required)")
+		mode   = flag.String("mode", "orig", "orig, spec, or manual")
+		disks  = flag.Int("disks", 4, "disks in the array")
+		cache  = flag.Int("cache", 12, "file cache size in MB")
+		dir    = flag.String("dir", "", "host directory to load into the simulated fs")
+		dual   = flag.Bool("dual", false, "run speculation on a second processor")
+		quiet  = flag.Bool("q", false, "suppress the program's own output")
+		trace  = flag.Int("trace", 0, "print up to N timeline events (reads, hints, restarts)")
+		jsonF  = flag.Bool("json", false, "emit the run's statistics as JSON on stdout")
+		ddline = flag.Int64("deadline", 0, "abort after this many virtual cycles (0 = default budget)")
+		faults = flag.String("faults", "", "fault-injection spec, e.g. rate=0.01,seed=42 (keys: "+
+			strings.Join(fault.Keys(), ", ")+")")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -89,12 +97,25 @@ func main() {
 	cfg.TIP.CacheBlocks = *cache << 20 / cfg.Disk.BlockSize
 	cfg.DualProcessor = *dual
 	cfg.TraceEvents = *trace > 0
+	if *ddline > 0 {
+		cfg.MaxCycles = *ddline
+	}
+	if *faults != "" {
+		if cfg.Faults, err = fault.Parse(*faults); err != nil {
+			fail(err)
+		}
+	}
 
 	sys, err := core.New(cfg, prog, vfs)
 	if err != nil {
 		fail(err)
 	}
 	st, err := sys.Run()
+	if errors.Is(err, core.ErrDeadline) {
+		fmt.Fprintf(os.Stderr, "specrun: deadline exceeded: the program did not finish within %d virtual cycles (%.3f testbed seconds)\n",
+			cfg.MaxCycles, float64(cfg.MaxCycles)/core.CPUHz)
+		os.Exit(3)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -123,6 +144,12 @@ func main() {
 	fmt.Fprintf(os.Stderr, "reads %d (%d hinted), stall %.3fs, restarts %d, signals %d\n",
 		st.ReadCalls, st.HintedReads,
 		float64(st.StallCycles())/core.CPUHz, st.Restarts, st.SpecSignals)
+	if *faults != "" {
+		fmt.Fprintf(os.Stderr, "faults: %d transient, %d spiked, %d dead; tip retries %d, demoted %d; read errors %d, fault restarts %d, degraded %v\n",
+			st.Disk.FaultedReqs, st.Disk.SpikedReqs, st.Disk.DeadReqs,
+			st.TipFaults.FetchRetries, st.TipFaults.DemotedBlocks,
+			st.ReadErrors, st.FaultRestarts, st.Degraded)
+	}
 	if *trace > 0 {
 		fmt.Fprint(os.Stderr, core.FormatTrace(sys.Events(), *trace))
 	}

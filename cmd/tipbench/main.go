@@ -30,7 +30,7 @@ func main() {
 		scaleFlag = flag.String("scale", "full", "workload scale: full, sweep, or test")
 		listFlag  = flag.Bool("list", false, "list available experiments")
 		multiMax  = flag.Int("multimax", 0, "largest group size for the multi experiment (0 keeps the default)")
-		jsonFlag  = flag.String("json", "", "also write the multi sweep as JSON to this file")
+		jsonFlag  = flag.String("json", "", "also write the multi or faults sweep as JSON to this file")
 	)
 	flag.Parse()
 
@@ -90,9 +90,17 @@ func main() {
 	}
 
 	if *jsonFlag != "" {
-		out, err := bench.MultiJSON(scale, bench.MultiMaxN)
+		// The JSON form follows the requested experiment: faults if the list
+		// names it, otherwise the multi sweep (the original behavior).
+		which, gen := "multi", func() ([]byte, error) { return bench.MultiJSON(scale, bench.MultiMaxN) }
+		for _, n := range names {
+			if strings.TrimSpace(n) == "faults" {
+				which, gen = "faults", func() ([]byte, error) { return bench.FaultsJSON(scale) }
+			}
+		}
+		out, err := gen()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tipbench: multi json: %v\n", err)
+			fmt.Fprintf(os.Stderr, "tipbench: %s json: %v\n", which, err)
 			os.Exit(1)
 		}
 		if err := os.WriteFile(*jsonFlag, append(out, '\n'), 0o644); err != nil {

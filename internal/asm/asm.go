@@ -37,13 +37,29 @@ import (
 	"spechint/internal/vm"
 )
 
-// Error is an assembly error with line information.
+// Error is an assembly error with location context: the 1-based source line,
+// the nearest enclosing label (empty before the first label), and the
+// offending source line text.
 type Error struct {
-	Line int
-	Msg  string
+	Line  int
+	Label string
+	Src   string
+	Msg   string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "asm: line %d", e.Line)
+	if e.Label != "" {
+		fmt.Fprintf(&b, " (in %s)", e.Label)
+	}
+	b.WriteString(": ")
+	b.WriteString(e.Msg)
+	if e.Src != "" {
+		fmt.Fprintf(&b, "\n  %d | %s", e.Line, e.Src)
+	}
+	return b.String()
+}
 
 type section int
 
@@ -55,8 +71,10 @@ const (
 
 type fixup struct {
 	line   int
-	text   bool  // true: patch Text[idx].Imm; false: patch data word at idx
-	idx    int64 // instruction index or data offset
+	label  string // enclosing label at the fixup site, for error context
+	src    string // source line at the fixup site
+	text   bool   // true: patch Text[idx].Imm; false: patch data word at idx
+	idx    int64  // instruction index or data offset
 	sym    string
 	addend int64
 }
@@ -68,6 +86,8 @@ type assembler struct {
 	fixups   []fixup
 	entrySym string
 	line     int
+	curLabel string // nearest enclosing label, for error context
+	curSrc   string // current source line (comments stripped), for error context
 }
 
 // Assemble parses source into a validated vm.Program.
@@ -92,7 +112,7 @@ func Assemble(src string) (*vm.Program, error) {
 	if a.entrySym != "" {
 		addr, ok := a.prog.Symbols[a.entrySym]
 		if !ok {
-			return nil, &Error{0, fmt.Sprintf("entry symbol %q undefined", a.entrySym)}
+			return nil, &Error{Msg: fmt.Sprintf("entry symbol %q undefined", a.entrySym)}
 		}
 		a.prog.Entry = addr
 	} else if addr, ok := a.prog.Symbols["main"]; ok {
@@ -114,7 +134,7 @@ func MustAssemble(src string) *vm.Program {
 }
 
 func (a *assembler) errf(format string, args ...any) error {
-	return &Error{a.line, fmt.Sprintf(format, args...)}
+	return &Error{Line: a.line, Label: a.curLabel, Src: a.curSrc, Msg: fmt.Sprintf(format, args...)}
 }
 
 func stripComment(s string) string {
@@ -134,6 +154,7 @@ func stripComment(s string) string {
 
 func (a *assembler) doLine(raw string) error {
 	s := strings.TrimSpace(stripComment(raw))
+	a.curSrc = s
 	if s == "" {
 		return nil
 	}
@@ -178,6 +199,7 @@ func (a *assembler) defineLabel(name string) error {
 	default:
 		return a.errf("label %q outside a section", name)
 	}
+	a.curLabel = name
 	return nil
 }
 
@@ -283,7 +305,10 @@ func (a *assembler) emitWord(expr string) error {
 	if err != nil {
 		return err
 	}
-	a.fixups = append(a.fixups, fixup{line: a.line, text: false, idx: off, sym: sym, addend: addend})
+	a.fixups = append(a.fixups, fixup{
+		line: a.line, label: a.curLabel, src: a.curSrc,
+		text: false, idx: off, sym: sym, addend: addend,
+	})
 	return nil
 }
 
@@ -372,7 +397,8 @@ func (a *assembler) fixupText(expr string) error {
 		return err
 	}
 	a.fixups = append(a.fixups, fixup{
-		line: a.line, text: true, idx: int64(len(a.prog.Text) - 1),
+		line: a.line, label: a.curLabel, src: a.curSrc,
+		text: true, idx: int64(len(a.prog.Text) - 1),
 		sym: sym, addend: addend,
 	})
 	return nil
@@ -656,7 +682,8 @@ func (a *assembler) resolve() error {
 	for _, f := range a.fixups {
 		v, ok := lookup(f.sym)
 		if !ok {
-			return &Error{f.line, fmt.Sprintf("undefined symbol %q", f.sym)}
+			return &Error{Line: f.line, Label: f.label, Src: f.src,
+				Msg: fmt.Sprintf("undefined symbol %q", f.sym)}
 		}
 		v += f.addend
 		if f.text {

@@ -443,3 +443,55 @@ func TestEmptySourceRejected(t *testing.T) {
 		t.Fatal("comment-only source produced a program")
 	}
 }
+
+func TestErrorCarriesLabelAndSourceContext(t *testing.T) {
+	_, err := Assemble(`
+.text
+main:
+    movi r1, 1
+inner:
+    bogus r1, r2
+`)
+	if err == nil {
+		t.Fatal("bad opcode assembled")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if e.Line != 6 {
+		t.Errorf("Line = %d, want 6", e.Line)
+	}
+	if e.Label != "inner" {
+		t.Errorf("Label = %q, want %q", e.Label, "inner")
+	}
+	if e.Src != "bogus r1, r2" {
+		t.Errorf("Src = %q", e.Src)
+	}
+	for _, want := range []string{"line 6", "(in inner)", "bogus r1, r2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestUndefinedSymbolErrorPointsAtUse(t *testing.T) {
+	_, err := Assemble(`
+.text
+main:
+    jmp nowhere
+`)
+	if err == nil {
+		t.Fatal("undefined symbol assembled")
+	}
+	e, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if e.Line != 4 || e.Label != "main" {
+		t.Errorf("location = line %d in %q, want line 4 in main", e.Line, e.Label)
+	}
+	if !strings.Contains(e.Msg, `"nowhere"`) {
+		t.Errorf("Msg = %q", e.Msg)
+	}
+}

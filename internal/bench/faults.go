@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+	"spechint/internal/fault"
+)
+
+// FaultRates is the transient-error-rate sweep used by the faults experiment
+// (rate 0 is the fault-free baseline).
+var FaultRates = []float64{0, 0.01, 0.02, 0.05, 0.1}
+
+// faultSeed keeps the injection schedule fixed across runs so degradation
+// curves are reproducible point for point.
+const faultSeed = 99
+
+// FaultPoint is one (app, mode, rate) cell of the degradation sweep.
+type FaultPoint struct {
+	App          string  `json:"app"`
+	Mode         string  `json:"mode"`
+	Rate         float64 `json:"rate"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	StallSec     float64 `json:"stall_sec"`
+	FaultedReqs  int64   `json:"faulted_reqs"`
+	SpikedReqs   int64   `json:"spiked_reqs"`
+	FetchRetries int64   `json:"fetch_retries"`
+	Demoted      int64   `json:"demoted_blocks"`
+	SlowdownPct  float64 `json:"slowdown_pct"` // vs the same mode fault-free
+}
+
+// faultPlan builds the plan for one sweep cell: transient errors at the given
+// rate with small bursts, plus a fixed low spike rate so the latency path is
+// exercised too. No disk death — the sweep measures graceful degradation, so
+// every run must still produce the fault-free output.
+func faultPlan(rate float64) *fault.Plan {
+	p := fault.NewPlan(faultSeed)
+	p.Rate = rate
+	p.Burst = 2
+	p.SpikeRate = rate / 2
+	p.SpikeFactor = 4
+	return p
+}
+
+// faultsSweep runs the full (app, mode, rate) grid.
+func faultsSweep(scale apps.Scale) ([]FaultPoint, error) {
+	var points []FaultPoint
+	for _, app := range Apps {
+		for _, mode := range []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual} {
+			var base *core.RunStats
+			for _, rate := range FaultRates {
+				r := rate
+				st, _, err := Run(app, mode, scale, func(c *core.Config) {
+					if r > 0 {
+						c.Faults = faultPlan(r)
+					}
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: faults %v %v rate %g: %w", app, mode, rate, err)
+				}
+				if st.ReadErrors != 0 {
+					return nil, fmt.Errorf("bench: faults %v %v rate %g: %d demand reads surfaced EIO without disk death",
+						app, mode, rate, st.ReadErrors)
+				}
+				if rate == 0 {
+					base = st
+				}
+				pt := FaultPoint{
+					App:          app.String(),
+					Mode:         mode.String(),
+					Rate:         rate,
+					ElapsedSec:   st.Seconds(),
+					StallSec:     float64(st.StallCycles()) / core.CPUHz,
+					FaultedReqs:  st.Disk.FaultedReqs,
+					SpikedReqs:   st.Disk.SpikedReqs,
+					FetchRetries: st.TipFaults.FetchRetries,
+					Demoted:      st.TipFaults.DemotedBlocks,
+				}
+				if base != nil && base.Elapsed > 0 {
+					pt.SlowdownPct = 100 * float64(st.Elapsed-base.Elapsed) / float64(base.Elapsed)
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points, nil
+}
+
+// Faults is the graceful-degradation experiment: elapsed time and stall as
+// transient disk faults grow more frequent, for each app in each mode. The
+// reproduction target is the shape (see EXPERIMENTS.md): speculating tracks
+// manual's degradation curve, and no fault rate changes any program's output.
+func Faults(scale apps.Scale) (string, error) {
+	points, err := faultsSweep(scale)
+	if err != nil {
+		return "", err
+	}
+	t := newTable("Faults: elapsed time (s) vs transient-error rate (4 disks, seeded injection)")
+	header := []string{"Series"}
+	for _, r := range FaultRates {
+		header = append(header, fmt.Sprintf("%g", r))
+	}
+	t.row(header...)
+	// points are grouped (app, mode) in sweep order, FaultRates per group.
+	for i := 0; i < len(points); i += len(FaultRates) {
+		group := points[i : i+len(FaultRates)]
+		cells := []string{group[0].App + " " + group[0].Mode}
+		for _, pt := range group {
+			cells = append(cells, fmt.Sprintf("%.2f", pt.ElapsedSec))
+		}
+		t.row(cells...)
+	}
+	return t.String(), nil
+}
+
+// FaultsJSON runs the sweep and returns it machine-readable (make bench
+// writes it to BENCH_faults.json).
+func FaultsJSON(scale apps.Scale) ([]byte, error) {
+	points, err := faultsSweep(scale)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(struct {
+		Experiment string       `json:"experiment"`
+		Seed       int64        `json:"seed"`
+		Rates      []float64    `json:"rates"`
+		Points     []FaultPoint `json:"points"`
+	}{"faults", faultSeed, FaultRates, points}, "", "  ")
+}

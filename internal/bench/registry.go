@@ -59,6 +59,7 @@ var Registry = map[string]Experiment{
 	"adaptive":   {Name: "adaptive", Desc: "accuracy-gated erroneous-hint limiter (§5 extension)", Run: scaleExp(AdaptiveLimiter)},
 	"join":       {Name: "join", Desc: "Postgres join improvement vs selectivity (Table 1 extension)", Run: scaleExp(JoinSelectivity), Heavy: true},
 	"multi":      {Name: "multi", Desc: "N-process shared-TIP multiprogramming: makespan, throughput, fairness", Run: scaleExp(Multi), Heavy: true},
+	"faults":     {Name: "faults", Desc: "graceful degradation under injected disk faults (robustness extension)", Run: scaleExp(Faults), Heavy: true},
 }
 
 // Names returns experiment ids in stable order.

@@ -51,7 +51,7 @@ type Block struct {
 
 	state    State
 	uses     int // demand accesses since arrival
-	waiters  []func()
+	waiters  []func(valid bool)
 	elem     *list.Element // position in the LRU list (valid blocks only)
 	arrival  int64         // tick of arrival, for diagnostics
 	demanded bool          // a demand read upgraded/waited on this block
@@ -63,6 +63,12 @@ func (b *Block) State() State { return b.state }
 // Uses returns the number of demand accesses since the block arrived.
 func (b *Block) Uses() int { return b.uses }
 
+// Demanded reports whether the block is on an application's critical path: it
+// was fetched by a demand read, or a demand read is waiting on it
+// (NoteDemandWait). The fetch-retry policy keys off this — demanded blocks
+// retry until their disk dies, mere prefetches give up and demote.
+func (b *Block) Demanded() bool { return b.demanded || b.Origin == OriginDemand }
+
 // Stats is the cache-side slice of the paper's Table 5.
 type Stats struct {
 	Hits         int64 // demand accesses served by a Valid block
@@ -73,6 +79,7 @@ type Stats struct {
 	EvictedClean int64 // valid blocks evicted
 	UnusedHint   int64 // hint-prefetched blocks evicted (or left) with zero uses
 	UnusedRA     int64 // readahead-prefetched blocks evicted (or left) with zero uses
+	FailedLoads  int64 // in-transit blocks resolved to an error (Fail)
 
 	// Multiprogramming isolation counters. CrossHintEvicts counts hinted
 	// blocks evicted by a *hinted* request from a different owner (the
@@ -313,7 +320,8 @@ func (c *Cache) noteUnusedIfPrefetched(b *Block) {
 	}
 }
 
-// Complete transitions an in-transit block to Valid and wakes its waiters.
+// Complete transitions an in-transit block to Valid and wakes its waiters
+// with valid=true.
 func (c *Cache) Complete(lb int64) {
 	b := c.blocks[lb]
 	if b == nil || b.state != InTransit {
@@ -324,12 +332,32 @@ func (c *Cache) Complete(lb int64) {
 	ws := b.waiters
 	b.waiters = nil
 	for _, w := range ws {
-		w()
+		w(true)
 	}
 }
 
-// Wait registers fn to run when the in-transit block lb becomes valid.
-func (c *Cache) Wait(lb int64, fn func()) {
+// Fail resolves an in-transit block to an error: the buffer is released (its
+// fetch returned no data, so there is nothing to cache) and every waiter is
+// woken with valid=false. The block must be InTransit — failing a block in
+// any other state panics, like Complete.
+func (c *Cache) Fail(lb int64) {
+	b := c.blocks[lb]
+	if b == nil || b.state != InTransit {
+		panic(fmt.Sprintf("cache: Fail of block %d in bad state", lb))
+	}
+	c.stats.FailedLoads++
+	c.dropHintAccounting(b)
+	delete(c.blocks, lb)
+	ws := b.waiters
+	b.waiters = nil
+	for _, w := range ws {
+		w(false)
+	}
+}
+
+// Wait registers fn to run when the in-transit block lb resolves: valid=true
+// from Complete, valid=false from Fail.
+func (c *Cache) Wait(lb int64, fn func(valid bool)) {
 	b := c.blocks[lb]
 	if b == nil || b.state != InTransit {
 		panic(fmt.Sprintf("cache: Wait on block %d in bad state", lb))

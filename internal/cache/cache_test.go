@@ -44,8 +44,8 @@ func TestWaitersRunOnComplete(t *testing.T) {
 	c := New(4)
 	c.Acquire(5, OriginHint, 3)
 	n := 0
-	c.Wait(5, func() { n++ })
-	c.Wait(5, func() { n++ })
+	c.Wait(5, func(bool) { n++ })
+	c.Wait(5, func(bool) { n++ })
 	c.Complete(5)
 	if n != 2 {
 		t.Fatalf("waiters run = %d, want 2", n)

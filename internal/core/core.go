@@ -26,6 +26,7 @@ import (
 
 	"spechint/internal/cache"
 	"spechint/internal/disk"
+	"spechint/internal/fault"
 	"spechint/internal/fsim"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
@@ -115,6 +116,11 @@ type Config struct {
 
 	// MaxCycles aborts a runaway simulation. Zero means no limit.
 	MaxCycles int64
+
+	// Faults, when non-nil, is installed as the disk array's fault injector
+	// (private substrates only; multiprogramming installs a shared plan on
+	// its own substrate).
+	Faults *fault.Plan
 }
 
 // TestbedDisk returns the paper's array: HP C2247-class disks (15 ms average
@@ -165,6 +171,11 @@ func (c Config) Validate() error {
 	if c.CopyPer8B < 0 || c.HintLogCheckCycles < 0 || c.RegSaveCycles < 0 {
 		return fmt.Errorf("core: negative overhead cycles")
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -181,6 +192,7 @@ type pendingRead struct {
 	file *fsim.File
 	off  int64
 	n    int64
+	pc   int64 // original-text PC just after the read syscall
 }
 
 // RunStats is everything one run produces; the bench harness assembles the
@@ -201,6 +213,18 @@ type RunStats struct {
 	SpecInstrs  int64
 	OrigInstrs  int64
 	ExitCode    int64
+
+	// Fault-injection outcomes. ReadErrors counts demand reads that
+	// surfaced to the application as EIO (only a dead disk can cause one —
+	// transient faults retry until they succeed). FaultRestarts counts
+	// speculation restarts forced so that shadow code resumes with the same
+	// errno the original thread saw; they are a subset of Restarts.
+	// TipFaults is the substrate's degradation activity; Degraded says the
+	// run ended with at least one dead disk.
+	ReadErrors    int64
+	FaultRestarts int64
+	TipFaults     tip.FaultCounters
+	Degraded      bool
 
 	FootprintBytes int64
 	HintLogPeak    int
@@ -273,6 +297,16 @@ type Substrate struct {
 	TIP *tip.Manager
 }
 
+// InstallFaults hooks a fault plan into the substrate's disk array (nil
+// restores perfect hardware). Install before the first request is submitted.
+func (sub *Substrate) InstallFaults(p *fault.Plan) {
+	if p == nil {
+		sub.Arr.SetInjector(nil)
+		return
+	}
+	sub.Arr.SetInjector(p)
+}
+
 // NewSubstrate assembles a substrate over fs from disk and TIP configuration.
 func NewSubstrate(diskCfg disk.Config, tipCfg tip.Config, fs *fsim.FS) (*Substrate, error) {
 	if fs.BlockSize() != diskCfg.BlockSize {
@@ -331,10 +365,11 @@ type System struct {
 	cancelsRecent    int
 	disabledUntil    sim.Time
 
-	pending    *pendingRead
-	out        bytes.Buffer
-	sliceStart sim.Time
-	events     []Event
+	pending     *pendingRead
+	out         bytes.Buffer
+	sliceStart  sim.Time
+	events      []Event
+	watchdogErr error // fatal inconsistency caught by the deadlock watchdog
 
 	stats          RunStats
 	final          *RunStats // cached by Finalize
@@ -354,6 +389,9 @@ func New(cfg Config, prog *vm.Program, fs *fsim.FS) (*System, error) {
 	sub, err := NewSubstrate(cfg.Disk, cfg.TIP, fs)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		sub.InstallFaults(cfg.Faults)
 	}
 	s, err := NewOn(sub, cfg, prog, "app")
 	if err != nil {

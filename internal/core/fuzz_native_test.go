@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"spechint/internal/asm"
+	"spechint/internal/fault"
+	"spechint/internal/spechint"
+)
+
+// FuzzRun is the native fuzz target wired into CI (`go test -fuzz=FuzzRun`):
+// from a program seed and a packed fault descriptor it builds a generated
+// disk-reading program plus a recoverable fault plan, then checks the
+// containment contract — the speculating build under injected faults
+// completes and computes the same exit code as the fault-free original.
+func FuzzRun(f *testing.F) {
+	f.Add(int64(1), uint16(0))
+	f.Add(int64(7), uint16(3))
+	f.Add(int64(13), uint16(0x5a5a))
+	f.Add(int64(42), uint16(0xffff))
+	f.Fuzz(func(t *testing.T, seed int64, faultBits uint16) {
+		const nFiles = 4
+		src := genProgram(seed, nFiles)
+		prog, err := asm.Assemble(src)
+		if err != nil {
+			t.Skipf("assemble: %v", err)
+		}
+
+		orig, err := New(DefaultConfig(ModeNoHint), prog, genFS(seed, nFiles))
+		if err != nil {
+			t.Skip()
+		}
+		ost, err := orig.Run()
+		if err != nil {
+			t.Fatalf("seed %d: fault-free original run: %v", seed, err)
+		}
+
+		// Unpack faultBits into a recoverable plan (no disk death, so every
+		// demand read eventually succeeds and outputs must match).
+		plan := fault.NewPlan(int64(faultBits) ^ seed)
+		plan.Rate = float64(faultBits&0x1f) / 100       // 0 .. 0.31
+		plan.Burst = 1 + int(faultBits>>5)&0x3          // 1 .. 4
+		plan.SpikeRate = float64(faultBits>>7&0xf) / 50 // 0 .. 0.30
+		plan.SpikeFactor = 2 + int(faultBits>>11)&0x7   // 2 .. 9
+		plan.FailN = int(faultBits>>14) & 0x3           // 0 .. 3
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("derived plan invalid: %v", err)
+		}
+
+		tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+		if err != nil {
+			t.Skip()
+		}
+		cfg := DefaultConfig(ModeSpeculating)
+		cfg.Faults = plan
+		sys, err := New(cfg, tp, genFS(seed, nFiles))
+		if err != nil {
+			t.Skip()
+		}
+		st, err := sys.Run()
+		if err != nil {
+			t.Fatalf("seed %d faults %#x: speculating run aborted: %v", seed, faultBits, err)
+		}
+		if st.ExitCode != ost.ExitCode {
+			t.Fatalf("seed %d faults %#x: exit %d != fault-free %d\nprogram:\n%s",
+				seed, faultBits, st.ExitCode, ost.ExitCode, src)
+		}
+		if st.ReadErrors != 0 {
+			t.Fatalf("seed %d faults %#x: %d recoverable faults surfaced EIO", seed, faultBits, st.ReadErrors)
+		}
+	})
+}

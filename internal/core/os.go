@@ -214,17 +214,47 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 		t.Regs[vm.R1] = n
 		return vm.SysDone
 	}
-	s.pending = &pendingRead{fd: fd, buf: buf, file: file, off: off, n: n}
+	s.pending = &pendingRead{fd: fd, buf: buf, file: file, off: off, n: n, pc: t.PC}
 	return vm.SysBlock
 }
 
-// completeRead runs when TIP reports all blocks of the pending read valid.
-func (s *System) completeRead() {
+// completeRead runs when TIP reports every block of the pending read
+// resolved: err is nil when all are valid, non-nil when one was
+// unrecoverable (its disk died). On error the application gets EIO — a real
+// errno return, exactly what a production kernel would deliver — and, in
+// ModeSpeculating, the speculating thread is forced to restart with that
+// same EIO as its read result, so an injected fault can never make shadow
+// code diverge from what the original thread actually observed.
+func (s *System) completeRead(err error) {
 	p := s.pending
 	if p == nil {
-		panic("core: completeRead with no pending read")
+		// A completion with nothing pending is a runtime inconsistency; the
+		// watchdog turns it into a diagnostic run failure instead of a panic.
+		s.watchdog("completeRead with no pending read")
+		return
 	}
 	s.pending = nil
+	if err != nil {
+		s.stats.ReadErrors++
+		s.trace(EvReadError, "%s off=%d: %v", p.file.Name, p.off, err)
+		if s.cfg.Mode == ModeSpeculating {
+			// Containment (§3.2.2 applied to faults): whether or not the
+			// read was predicted, speculation believed it would return data.
+			// Re-arm the restart protocol so shadow code resumes just past
+			// this read with the EIO the original thread is about to see.
+			s.savedRegs = s.orig.Regs
+			s.savedResult = int64(fsim.EIO)
+			s.savedPC = p.pc
+			s.savedFD = p.fd
+			s.savedOff = p.off
+			s.restartPending = true
+			s.stats.FaultRestarts++
+			s.trace(EvOffTrack, "fault at %s off=%d: forcing restart with EIO", p.file.Name, p.off)
+		}
+		// The file offset does not advance on a failed read.
+		s.orig.Wake(int64(fsim.EIO))
+		return
+	}
 	s.trace(EvReadDone, "%s off=%d n=%d", p.file.Name, p.off, p.n)
 	s.finishRead(s.orig, p.file, p.fd, p.buf, p.off, p.n)
 	s.orig.Wake(p.n)

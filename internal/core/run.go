@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"spechint/internal/sim"
@@ -17,14 +18,21 @@ const maxSlice = int64(1) << 40
 // quantum (~0.4 ms of testbed time).
 const smpQuantum = 100_000
 
+// ErrDeadline marks a run aborted by the MaxCycles budget; detect it with
+// errors.Is to distinguish a runaway program from a real failure.
+var ErrDeadline = errors.New("core: virtual-cycle deadline exceeded")
+
 // Run executes the application to completion and returns the run statistics.
 func (s *System) Run() (*RunStats, error) {
 	for !s.Done() {
+		if s.watchdogErr != nil {
+			return nil, s.watchdogErr
+		}
 		if s.orig.Err != nil {
 			return nil, fmt.Errorf("core: original thread failed: %w", s.orig.Err)
 		}
 		if s.cfg.MaxCycles > 0 && int64(s.clk.Now()) > s.cfg.MaxCycles {
-			return nil, fmt.Errorf("core: exceeded MaxCycles %d", s.cfg.MaxCycles)
+			return nil, fmt.Errorf("%w: MaxCycles %d", ErrDeadline, s.cfg.MaxCycles)
 		}
 
 		runOrig := false
@@ -36,7 +44,7 @@ func (s *System) Run() (*RunStats, error) {
 			// Both threads idle: advance to the next event (a disk
 			// completion that will wake the original thread).
 			if !s.clk.RunNext() {
-				return nil, fmt.Errorf("core: deadlock — original %v, no pending events", s.orig.State)
+				return nil, s.Diagnose("deadlock — event queue drained with the original thread blocked")
 			}
 			continue
 		}
@@ -310,6 +318,8 @@ func (s *System) Finalize() *RunStats {
 	st.Tip = s.tipc.Stats()
 	st.Cache = s.tip.Cache().Stats()
 	st.Disk = s.arr.Stats()
+	st.TipFaults = s.tip.Faults()
+	st.Degraded = s.tip.Degraded()
 	st.Pages = s.mach.Pages()
 	st.Output = s.out.String()
 

@@ -15,6 +15,8 @@ const (
 	EvRead EventKind = iota
 	// EvReadDone is the completion of a blocking read.
 	EvReadDone
+	// EvReadError is a demand read that surfaced an I/O error (EIO).
+	EvReadError
 	// EvHint is a hint issued by the speculating thread.
 	EvHint
 	// EvOffTrack is an off-track detection by the original thread.
@@ -33,6 +35,8 @@ func (k EventKind) String() string {
 		return "read"
 	case EvReadDone:
 		return "read-done"
+	case EvReadError:
+		return "read-error"
 	case EvHint:
 		return "hint"
 	case EvOffTrack:

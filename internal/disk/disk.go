@@ -16,10 +16,29 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 
 	"spechint/internal/sim"
 )
+
+// ErrIO is the transient read error: the request was serviced but returned
+// no data. The caller may retry.
+var ErrIO = errors.New("disk: transient read error")
+
+// ErrDead is the permanent failure: the request's disk has died. Retrying on
+// the same disk cannot succeed.
+var ErrDead = errors.New("disk: disk failed")
+
+// Injector decides, per request entering service, whether a fault is
+// injected. fault.Plan implements it; nil means a perfect array.
+type Injector interface {
+	// DiskDead reports whether disk has permanently failed as of now.
+	DiskDead(disk int, now sim.Time) bool
+	// Outcome rules on one request: spikeFactor multiplies the media
+	// service time (1 = none) and fail completes the request with ErrIO.
+	Outcome(disk int, phys int64, now sim.Time) (spikeFactor int, fail bool)
+}
 
 // Priority classifies a request for queueing.
 type Priority int
@@ -84,12 +103,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Request is one block read submitted to the array.
+// Request is one block read submitted to the array. Done is invoked exactly
+// once when the host is notified of completion; err is nil on success, ErrIO
+// for a transient fault, ErrDead when the disk has permanently failed.
 type Request struct {
-	Disk      int      // target disk, from the striping map
-	PhysBlock int64    // physical block number on that disk
-	Pri       Priority // demand or prefetch
-	Done      func()   // invoked (once) when the host is notified of completion
+	Disk      int             // target disk, from the striping map
+	PhysBlock int64           // physical block number on that disk
+	Pri       Priority        // demand or prefetch
+	Done      func(err error) // completion notification with result status
 
 	next *Request // intrusive FIFO link
 }
@@ -103,6 +124,12 @@ type Stats struct {
 	BusyCycles    sim.Time // summed over disks
 	DemandWait    sim.Time // queueing delay experienced by demand requests
 	DemandService sim.Time // service time of demand requests
+
+	// Fault-injection outcomes (zero on a perfect array).
+	FaultedReqs int64 // requests completed with ErrIO
+	SpikedReqs  int64 // requests whose service time was spiked
+	DeadReqs    int64 // requests completed with ErrDead
+	DeadDisks   int   // disks that have permanently failed
 }
 
 // Array is the striped disk array.
@@ -111,6 +138,7 @@ type Array struct {
 	cfg   Config
 	disks []diskState
 	stats Stats
+	inj   Injector // nil = perfect hardware
 
 	// OnIdle, if non-nil, is invoked whenever a disk finishes a request and
 	// has no further queued work. TIP uses it to re-try prefetches rejected
@@ -120,6 +148,7 @@ type Array struct {
 
 type diskState struct {
 	busy        bool
+	dead        bool
 	demandHead  *Request
 	demandTail  *Request
 	prefHead    *Request
@@ -145,6 +174,62 @@ func New(clk *sim.Queue, cfg Config) (*Array, error) {
 
 // Config returns the array configuration.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetInjector installs a fault injector (nil restores perfect hardware).
+// Install before submitting requests; injection decisions are made at
+// service time.
+func (a *Array) SetInjector(inj Injector) { a.inj = inj }
+
+// Dead reports whether disk i has permanently failed.
+func (a *Array) Dead(i int) bool {
+	return i >= 0 && i < len(a.disks) && a.disks[i].dead
+}
+
+// deadNotifyCycles is the latency of an ErrDead completion: the driver's
+// command timeout, modeled as one positioning time.
+func (a *Array) deadNotifyCycles() sim.Time {
+	if a.cfg.PositionCycles > 0 {
+		return a.cfg.PositionCycles
+	}
+	return a.cfg.TransferCycles
+}
+
+// checkDeath marks disk i dead if the injector says it has failed by now,
+// draining its queues: every queued request completes with ErrDead after the
+// timeout latency. The in-service request, if any, finishes normally — its
+// data transfer had already begun.
+func (a *Array) checkDeath(i int) {
+	d := &a.disks[i]
+	if d.dead || a.inj == nil || !a.inj.DiskDead(i, a.clk.Now()) {
+		return
+	}
+	d.dead = true
+	a.stats.DeadDisks++
+	for {
+		r := a.pop(d)
+		if r == nil {
+			break
+		}
+		if r.Pri == Prefetch {
+			d.prefCount--
+		}
+		delete(d.arrival, r)
+		a.failDead(r)
+	}
+}
+
+// failDead schedules r's ErrDead completion.
+func (a *Array) failDead(r *Request) {
+	a.stats.DeadReqs++
+	if n, ok := a.inj.(interface{ NoteDeadHit() }); ok {
+		n.NoteDeadHit()
+	}
+	a.clk.After(a.deadNotifyCycles(), func() {
+		if r.Done != nil {
+			r.Done(ErrDead)
+		}
+	})
+}
 
 // Stats returns a copy of the accumulated statistics.
 func (a *Array) Stats() Stats { return a.stats }
@@ -173,7 +258,14 @@ func (a *Array) Submit(r *Request) bool {
 	if r.Disk < 0 || r.Disk >= len(a.disks) {
 		panic(fmt.Sprintf("disk: request for disk %d of %d", r.Disk, len(a.disks)))
 	}
+	a.checkDeath(r.Disk)
 	d := &a.disks[r.Disk]
+	if d.dead {
+		// The disk is gone: the request completes with ErrDead after the
+		// driver timeout, never entering a queue.
+		a.failDead(r)
+		return true
+	}
 	if r.Pri == Prefetch {
 		if a.cfg.MaxPrefetchPerDisk > 0 && d.prefCount >= a.cfg.MaxPrefetchPerDisk {
 			a.stats.RejectedReqs++
@@ -206,6 +298,10 @@ func (a *Array) startIfIdle(disk int) {
 	if d.busy {
 		return
 	}
+	a.checkDeath(disk)
+	if d.dead {
+		return // queues were drained with ErrDead
+	}
 	r := a.pop(d)
 	if r == nil {
 		return
@@ -213,7 +309,18 @@ func (a *Array) startIfIdle(disk int) {
 	d.busy = true
 
 	service, trackHit := a.serviceTime(d, r)
-	if trackHit {
+	spike, fail := 1, false
+	if a.inj != nil {
+		spike, fail = a.inj.Outcome(disk, r.PhysBlock, a.clk.Now())
+		if spike > 1 {
+			service *= sim.Time(spike)
+			a.stats.SpikedReqs++
+		}
+		if fail {
+			a.stats.FaultedReqs++
+		}
+	}
+	if trackHit && !fail {
 		a.stats.TrackBufHits++
 	}
 	a.stats.BusyCycles += service
@@ -224,9 +331,14 @@ func (a *Array) startIfIdle(disk int) {
 	}
 	delete(d.arrival, r)
 
-	// Update the track-buffer window: the drive reads ahead physically.
-	d.nextSeqPhys = r.PhysBlock + 1
-	d.seqLimit = r.PhysBlock + 1 + int64(a.cfg.TrackBufBlocks)
+	if fail {
+		// A failed read streams no data: the track-buffer window is lost.
+		d.nextSeqPhys, d.seqLimit = -1, 0
+	} else {
+		// Update the track-buffer window: the drive reads ahead physically.
+		d.nextSeqPhys = r.PhysBlock + 1
+		d.seqLimit = r.PhysBlock + 1 + int64(a.cfg.TrackBufBlocks)
+	}
 
 	notify := service * sim.Time(a.cfg.DelayFactor)
 	a.clk.After(notify, func() {
@@ -235,7 +347,11 @@ func (a *Array) startIfIdle(disk int) {
 			d.prefCount--
 		}
 		if r.Done != nil {
-			r.Done()
+			var err error
+			if fail {
+				err = ErrIO
+			}
+			r.Done(err)
 		}
 		a.startIfIdle(disk)
 		if a.OnIdle != nil && !d.busy {

@@ -98,7 +98,7 @@ func TestSingleRequestTiming(t *testing.T) {
 	clk := sim.NewQueue()
 	a := mustNew(t, clk, testConfig(1))
 	done := sim.Time(-1)
-	a.Submit(&Request{Disk: 0, PhysBlock: 100, Pri: Demand, Done: func() { done = clk.Now() }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 100, Pri: Demand, Done: func(error) { done = clk.Now() }})
 	clk.Drain()
 	if done != 1100 { // position + transfer
 		t.Fatalf("completion at %d, want 1100", done)
@@ -109,7 +109,7 @@ func TestTrackBufferHit(t *testing.T) {
 	clk := sim.NewQueue()
 	a := mustNew(t, clk, testConfig(1))
 	var times []sim.Time
-	record := func() { times = append(times, clk.Now()) }
+	record := func(error) { times = append(times, clk.Now()) }
 	a.Submit(&Request{Disk: 0, PhysBlock: 10, Pri: Demand, Done: record})
 	clk.Drain()
 	// Sequential next block: track buffer, 10 cycles.
@@ -144,10 +144,10 @@ func TestDemandPriorityOverPrefetch(t *testing.T) {
 	a := mustNew(t, clk, testConfig(1))
 	var order []string
 	// First request occupies the disk.
-	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch, Done: func() { order = append(order, "p0") }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch, Done: func(error) { order = append(order, "p0") }})
 	// While busy, queue a prefetch then a demand; demand must be served first.
-	a.Submit(&Request{Disk: 0, PhysBlock: 500, Pri: Prefetch, Done: func() { order = append(order, "p1") }})
-	a.Submit(&Request{Disk: 0, PhysBlock: 900, Pri: Demand, Done: func() { order = append(order, "d") }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 500, Pri: Prefetch, Done: func(error) { order = append(order, "p1") }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 900, Pri: Demand, Done: func(error) { order = append(order, "d") }})
 	clk.Drain()
 	want := []string{"p0", "d", "p1"}
 	for i := range want {
@@ -164,7 +164,7 @@ func TestInServicePrefetchNotPreempted(t *testing.T) {
 	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch})
 	// Demand arrives mid-service; it must wait the full prefetch service time.
 	clk.Advance(50)
-	a.Submit(&Request{Disk: 0, PhysBlock: 2000, Pri: Demand, Done: func() { demandDone = clk.Now() }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 2000, Pri: Demand, Done: func(error) { demandDone = clk.Now() }})
 	clk.Drain()
 	if demandDone != 1100+1100 {
 		t.Fatalf("demand done at %d, want 2200", demandDone)
@@ -202,7 +202,7 @@ func TestDelayFactorDelaysNotification(t *testing.T) {
 	cfg.DelayFactor = 3
 	a := mustNew(t, clk, cfg)
 	var done sim.Time
-	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Demand, Done: func() { done = clk.Now() }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Demand, Done: func(error) { done = clk.Now() }})
 	clk.Drain()
 	if done != 3300 {
 		t.Fatalf("notification at %d, want 3300", done)
@@ -226,7 +226,7 @@ func TestParallelDisksOverlap(t *testing.T) {
 	a := mustNew(t, clk, testConfig(4))
 	var last sim.Time
 	for d := 0; d < 4; d++ {
-		a.Submit(&Request{Disk: d, PhysBlock: 0, Pri: Demand, Done: func() { last = clk.Now() }})
+		a.Submit(&Request{Disk: d, PhysBlock: 0, Pri: Demand, Done: func(error) { last = clk.Now() }})
 	}
 	clk.Drain()
 	if last != 1100 {
@@ -286,7 +286,7 @@ func TestPropertyAllRequestsComplete(t *testing.T) {
 				pri = Prefetch
 			}
 			d, p := a.Map(int64(b))
-			a.Submit(&Request{Disk: d, PhysBlock: p, Pri: pri, Done: func() { completions++ }})
+			a.Submit(&Request{Disk: d, PhysBlock: p, Pri: pri, Done: func(error) { completions++ }})
 		}
 		clk.Drain()
 		return completions == len(blocks)
@@ -305,7 +305,7 @@ func TestTrackBufferSkipCostsStreamTime(t *testing.T) {
 	// but the drive streams through blocks 11-13 first: cost 4 x 10 cycles.
 	var done sim.Time
 	start := clk.Now()
-	a.Submit(&Request{Disk: 0, PhysBlock: 14, Pri: Demand, Done: func() { done = clk.Now() }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 14, Pri: Demand, Done: func(error) { done = clk.Now() }})
 	clk.Drain()
 	if done-start != 40 {
 		t.Fatalf("skip-4 service = %d, want 40", done-start)
@@ -316,7 +316,7 @@ func TestElevatorPicksCheapestPrefetch(t *testing.T) {
 	clk := sim.NewQueue()
 	a := mustNew(t, clk, testConfig(1))
 	var order []int64
-	rec := func(b int64) func() { return func() { order = append(order, b) } }
+	rec := func(b int64) func(error) { return func(error) { order = append(order, b) } }
 	// Occupy the disk, then queue prefetches far and near.
 	a.Submit(&Request{Disk: 0, PhysBlock: 10, Pri: Prefetch, Done: rec(10)})
 	a.Submit(&Request{Disk: 0, PhysBlock: 900, Pri: Prefetch, Done: rec(900)})
@@ -331,7 +331,7 @@ func TestPromoteMovesQueuedPrefetchAheadOfOthers(t *testing.T) {
 	clk := sim.NewQueue()
 	a := mustNew(t, clk, testConfig(1))
 	var order []int64
-	rec := func(b int64) func() { return func() { order = append(order, b) } }
+	rec := func(b int64) func(error) { return func(error) { order = append(order, b) } }
 	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch, Done: rec(0)})
 	a.Submit(&Request{Disk: 0, PhysBlock: 5, Pri: Prefetch, Done: rec(5)})
 	wanted := &Request{Disk: 0, PhysBlock: 900, Pri: Prefetch, Done: rec(900)}
@@ -360,9 +360,9 @@ func TestPromotePreservesQueueIntegrity(t *testing.T) {
 	a := mustNew(t, clk, testConfig(1))
 	served := 0
 	var reqs []*Request
-	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch, Done: func() { served++ }})
+	a.Submit(&Request{Disk: 0, PhysBlock: 0, Pri: Prefetch, Done: func(error) { served++ }})
 	for i := 1; i <= 5; i++ {
-		r := &Request{Disk: 0, PhysBlock: int64(i * 100), Pri: Prefetch, Done: func() { served++ }}
+		r := &Request{Disk: 0, PhysBlock: int64(i * 100), Pri: Prefetch, Done: func(error) { served++ }}
 		a.Submit(r)
 		reqs = append(reqs, r)
 	}

@@ -173,6 +173,7 @@ type Errno int64
 const (
 	OK      Errno = 0
 	ENOENT  Errno = -2
+	EIO     Errno = -5
 	EBADF   Errno = -9
 	EINVAL  Errno = -22
 	EMFILE  Errno = -24
@@ -185,6 +186,8 @@ func (e Errno) Error() string {
 	switch e {
 	case ENOENT:
 		return "no such file or directory"
+	case EIO:
+		return "input/output error"
 	case EBADF:
 		return "bad file descriptor"
 	case EINVAL:

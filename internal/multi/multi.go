@@ -16,11 +16,13 @@ package multi
 
 import (
 	"fmt"
+	"strings"
 
 	"spechint/internal/apps"
 	"spechint/internal/cache"
 	"spechint/internal/core"
 	"spechint/internal/disk"
+	"spechint/internal/fault"
 	"spechint/internal/fsim"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
@@ -55,6 +57,11 @@ type Config struct {
 
 	// MaxCycles aborts a runaway simulation. Zero means no limit.
 	MaxCycles int64
+
+	// Faults, when non-nil, is installed on the shared disk array: one fault
+	// schedule hits every process in the group (a disk death degrades the
+	// whole substrate, not one victim).
+	Faults *fault.Plan
 }
 
 // DefaultConfig mirrors the paper's testbed: four disks, 12 MB shared cache.
@@ -104,6 +111,12 @@ func NewGroup(cfg Config, scale apps.Scale, specs []ProcSpec) (*Group, error) {
 	sub, err := core.NewSubstrate(cfg.Disk, cfg.TIP, fs)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+		sub.InstallFaults(cfg.Faults)
 	}
 	g := &Group{cfg: cfg, sub: sub}
 
@@ -232,7 +245,7 @@ func (g *Group) Run() (*Result, error) {
 			continue
 		}
 		if !g.sub.Clk.RunNext() {
-			return nil, fmt.Errorf("multi: deadlock — no thread runnable, no pending events")
+			return nil, g.diagnoseDeadlock()
 		}
 	}
 
@@ -247,6 +260,20 @@ func (g *Group) Run() (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// diagnoseDeadlock reports the event queue draining with processes still
+// blocked, carrying each live process's own watchdog diagnostic.
+func (g *Group) diagnoseDeadlock() error {
+	var sb strings.Builder
+	sb.WriteString("multi: deadlock — no thread runnable, no pending events\n")
+	for _, p := range g.procs {
+		if p.sys.Done() {
+			continue
+		}
+		fmt.Fprintf(&sb, "%v\n", p.sys.Diagnose("blocked at group deadlock"))
+	}
+	return fmt.Errorf("%s", strings.TrimRight(sb.String(), "\n"))
 }
 
 // ProcResult is one process's outcome. Stats.Elapsed is the process's own

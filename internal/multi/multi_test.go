@@ -6,6 +6,7 @@ import (
 
 	"spechint/internal/apps"
 	"spechint/internal/core"
+	"spechint/internal/fault"
 )
 
 // mixedSpecs is the standard mixed workload: one process per application.
@@ -154,5 +155,42 @@ func TestJainIndex(t *testing.T) {
 func TestNewGroupRejectsEmpty(t *testing.T) {
 	if _, err := NewGroup(DefaultConfig(), apps.TestScale(), nil); err == nil {
 		t.Fatal("empty process list accepted")
+	}
+}
+
+// TestGroupFaultContainment: one fault schedule shared by every process in
+// the group must not change any process's output, and the whole faulted run
+// stays deterministic.
+func TestGroupFaultContainment(t *testing.T) {
+	specs := mixedSpecs(3, core.ModeSpeculating)
+	base := runGroup(t, DefaultConfig(), specs)
+
+	faulted := func() *Result {
+		cfg := DefaultConfig()
+		// Plans are stateful: each run parses a fresh one.
+		p, err := fault.Parse("seed=17,rate=0.03,burst=2,spike=0.02x4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = p
+		return runGroup(t, cfg, specs)
+	}
+	a := faulted()
+	if a.Disk.FaultedReqs == 0 {
+		t.Fatal("plan injected nothing; the test is vacuous")
+	}
+	for i := range a.Procs {
+		fa, fb := a.Procs[i].Stats, base.Procs[i].Stats
+		if fa.Output != fb.Output || fa.ExitCode != fb.ExitCode {
+			t.Errorf("proc %d output changed under recoverable faults (exit %d vs %d)",
+				i, fa.ExitCode, fb.ExitCode)
+		}
+		if fa.ReadErrors != 0 {
+			t.Errorf("proc %d surfaced %d EIO reads with no disk death", i, fa.ReadErrors)
+		}
+	}
+	b := faulted()
+	if a.Makespan != b.Makespan || a.Disk != b.Disk {
+		t.Errorf("faulted group diverged: makespan %d vs %d", a.Makespan, b.Makespan)
 	}
 }

@@ -148,7 +148,7 @@ func TestHintAfterCancelAllRedisclosure(t *testing.T) {
 	}
 
 	done := false
-	if !c.Read(f, 0, 1024, true, func() { done = true }) {
+	if !c.Read(f, 0, 1024, true, func(error) { done = true }) {
 		for !done {
 			if !r.clk.RunNext() {
 				t.Fatal("read never completed")

@@ -20,6 +20,7 @@
 package tip
 
 import (
+	"errors"
 	"fmt"
 
 	"spechint/internal/cache"
@@ -68,6 +69,20 @@ type Config struct {
 	// IgnoreHints makes hint calls no-ops (the paper's Figure 4
 	// configuration): every read is treated as unhinted.
 	IgnoreHints bool
+
+	// MaxFetchRetries bounds how often a *prefetch* whose disk request
+	// failed transiently is retried before its block is demoted (dropped
+	// from the hinted sequence so the prefetcher does not wedge). Demand
+	// fetches retry until they succeed or their disk dies — stalling the
+	// application on a transient error is never acceptable.
+	MaxFetchRetries int
+
+	// RetryBaseCycles is the first retry backoff in virtual cycles; each
+	// subsequent retry of the same block doubles it, capped at
+	// RetryCapCycles. Zero selects the defaults (500k base, 16M cap:
+	// ~2 ms to ~70 ms of testbed time).
+	RetryBaseCycles int64
+	RetryCapCycles  int64
 }
 
 // DefaultConfig mirrors the testbed: 12 MB cache of 8 KB blocks.
@@ -80,6 +95,7 @@ func DefaultConfig() Config {
 		MaxDepthPerDisk: 8,
 		RADepthPerDisk:  8,
 		MaxHintSegs:     1 << 16,
+		MaxFetchRetries: 4,
 	}
 }
 
@@ -96,8 +112,48 @@ func (c Config) Validate() error {
 		return fmt.Errorf("tip: ReadaheadMax = %d, want >= 0", c.ReadaheadMax)
 	case c.MaxDepthPerDisk < 0 || c.RADepthPerDisk < 0 || c.MaxHintSegs < 0:
 		return fmt.Errorf("tip: negative MaxDepthPerDisk, RADepthPerDisk or MaxHintSegs")
+	case c.MaxFetchRetries < 0 || c.RetryBaseCycles < 0 || c.RetryCapCycles < 0:
+		return fmt.Errorf("tip: negative MaxFetchRetries, RetryBaseCycles or RetryCapCycles")
 	}
 	return nil
+}
+
+// Retry backoff defaults, in cycles (~2 ms and ~70 ms of testbed time).
+const (
+	defaultRetryBase = 500_000
+	defaultRetryCap  = 16_000_000
+)
+
+// retryBackoff returns the capped exponential backoff before retry attempt
+// (1-based) of a failed fetch.
+func (c Config) retryBackoff(attempt int) sim.Time {
+	base, lim := c.RetryBaseCycles, c.RetryCapCycles
+	if base == 0 {
+		base = defaultRetryBase
+	}
+	if lim == 0 {
+		lim = defaultRetryCap
+	}
+	shift := attempt - 1
+	if shift > 30 {
+		shift = 30
+	}
+	bo := base << uint(shift)
+	if bo > lim {
+		bo = lim
+	}
+	return sim.Time(bo)
+}
+
+// FaultCounters aggregates the manager's degradation activity: what the
+// fault-injection subsystem caused and how TIP absorbed it. They are
+// substrate-wide (faults hit the shared array, not one hint stream).
+type FaultCounters struct {
+	FetchErrors   int64 // disk completions that returned an error
+	FetchRetries  int64 // failed fetches re-submitted after backoff
+	DemotedBlocks int64 // prefetched blocks dropped after repeated failures
+	DeadSkips     int64 // hinted blocks never prefetched: their disk is dead
+	FailedDemand  int64 // demand fetches surfaced to the reader as an error
 }
 
 // Stats aggregates the hinting and prefetching activity of one client (or,
@@ -227,6 +283,14 @@ type Manager struct {
 
 	prefDepth map[int]int             // outstanding prefetches per disk
 	inflight  map[int64]*disk.Request // in-transit block -> its disk request
+
+	// Degradation state: per-block transient-failure counts, blocks demoted
+	// from prefetching after repeated failures, and dead-disk blocks already
+	// counted as skipped (so DeadSkips counts blocks, not pump passes).
+	retries     map[int64]int
+	demoted     map[int64]bool
+	deadSkipped map[int64]bool
+	faults      FaultCounters
 }
 
 // Client is one process's handle on the manager: a private hint queue,
@@ -262,13 +326,16 @@ func New(clk *sim.Queue, arr *disk.Array, fs *fsim.FS, cfg Config) (*Manager, er
 		return nil, err
 	}
 	m := &Manager{
-		clk:       clk,
-		arr:       arr,
-		fs:        fs,
-		cache:     cache.New(cfg.CacheBlocks),
-		cfg:       cfg,
-		prefDepth: make(map[int]int),
-		inflight:  make(map[int64]*disk.Request),
+		clk:         clk,
+		arr:         arr,
+		fs:          fs,
+		cache:       cache.New(cfg.CacheBlocks),
+		cfg:         cfg,
+		prefDepth:   make(map[int]int),
+		inflight:    make(map[int64]*disk.Request),
+		retries:     make(map[int64]int),
+		demoted:     make(map[int64]bool),
+		deadSkipped: make(map[int64]bool),
 	}
 	m.cache.SetAccuracyFn(func(owner int) float64 {
 		if owner >= 0 && owner < len(m.clients) {
@@ -301,6 +368,21 @@ func (m *Manager) def() *Client {
 
 // Cache exposes the underlying cache (read-only use: stats, inspection).
 func (m *Manager) Cache() *cache.Cache { return m.cache }
+
+// Faults returns the substrate-wide degradation counters.
+func (m *Manager) Faults() FaultCounters { return m.faults }
+
+// Degraded reports whether the manager is running in degraded mode: at
+// least one disk of the array has permanently failed, so prefetching for
+// stripes mapped to it is suspended while demand reads keep flowing.
+func (m *Manager) Degraded() bool {
+	for i := 0; i < m.arr.Config().NumDisks; i++ {
+		if m.arr.Dead(i) {
+			return true
+		}
+	}
+	return false
+}
 
 // Stats returns the counters summed over every client.
 func (m *Manager) Stats() Stats {
@@ -451,7 +533,7 @@ func (m *Manager) Accuracy() float64 { return m.def().Accuracy() }
 func (m *Manager) Covered(f *fsim.File, off, n int64) bool { return m.def().Covered(f, off, n) }
 
 // Read performs a demand read through the default client; see Client.Read.
-func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func()) bool {
+func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func(err error)) bool {
 	return m.def().Read(f, off, n, hinted, done)
 }
 
@@ -584,6 +666,19 @@ func (c *Client) pump() {
 			}
 			d := int64(dist)
 			dist++
+			if m.demoted[lb] {
+				// Repeatedly failing block: left to the demand read, so the
+				// rest of the hinted sequence keeps prefetching.
+				continue
+			}
+			if dk, _ := m.arr.Map(lb); m.arr.Dead(dk) {
+				// Degraded mode: no prefetching onto a dead disk.
+				if !m.deadSkipped[lb] {
+					m.deadSkipped[lb] = true
+					m.faults.DeadSkips++
+				}
+				continue
+			}
 			if b := m.cache.Get(lb); b != nil {
 				if b.HintDist > d {
 					m.cache.SetHintFor(lb, c.id, d)
@@ -613,12 +708,18 @@ const (
 )
 
 // startFetch acquires a buffer for lb on the owner's behalf and submits the
-// disk request, leaving no residue on failure.
+// disk request, leaving no residue on failure. Prefetch-priority fetches are
+// refused outright when the target disk is dead (degraded mode); demand
+// fetches are always submitted — the dead disk answers them with ErrDead,
+// which surfaces to the reader as a read error.
 func (m *Manager) startFetch(owner int, lb int64, origin cache.Origin, hintDist int64) fetchResult {
 	dk, phys := m.arr.Map(lb)
 	pri := disk.Prefetch
 	if origin == cache.OriginDemand {
 		pri = disk.Demand
+	}
+	if pri == disk.Prefetch && m.arr.Dead(dk) {
+		return fetchDiskBusy
 	}
 	bound := m.cfg.MaxDepthPerDisk
 	if origin == cache.OriginReadahead {
@@ -634,7 +735,7 @@ func (m *Manager) startFetch(owner int, lb int64, origin cache.Origin, hintDist 
 	isPref := pri == disk.Prefetch
 	req := &disk.Request{
 		Disk: dk, PhysBlock: phys, Pri: pri,
-		Done: func() { m.onFetchDone(lb, dk, isPref) },
+		Done: func(err error) { m.onFetchDone(lb, dk, isPref, err) },
 	}
 	if !m.arr.Submit(req) {
 		m.cache.Drop(lb)
@@ -647,14 +748,94 @@ func (m *Manager) startFetch(owner int, lb int64, origin cache.Origin, hintDist 
 	return fetchStarted
 }
 
-func (m *Manager) onFetchDone(lb int64, dk int, wasPrefetch bool) {
+func (m *Manager) onFetchDone(lb int64, dk int, wasPrefetch bool, err error) {
 	if wasPrefetch {
 		m.prefDepth[dk]--
 	}
 	delete(m.inflight, lb)
-	m.cache.Complete(lb)
+	if err != nil {
+		m.handleFetchError(lb, dk, err)
+	} else {
+		delete(m.retries, lb)
+		delete(m.demoted, lb)
+		m.cache.Complete(lb)
+	}
 	m.retryPendingDemand()
 	m.pump()
+}
+
+// handleFetchError is the degradation policy for a fetch that completed
+// with an error. Demand-critical blocks (a demand read is waiting, or the
+// fetch was demand-priority) retry with capped exponential backoff until
+// they succeed or their disk dies; pure prefetches retry MaxFetchRetries
+// times and are then demoted — dropped from the hinted sequence so the
+// prefetcher does not wedge on one bad block. Dead-disk errors never retry:
+// the block resolves to an error immediately.
+func (m *Manager) handleFetchError(lb int64, dk int, err error) {
+	m.faults.FetchErrors++
+	b := m.cache.Get(lb)
+	if b == nil || b.State() != cache.InTransit {
+		panic(fmt.Sprintf("tip: fetch error for block %d not in transit", lb))
+	}
+	if err == disk.ErrDead {
+		delete(m.retries, lb)
+		if b.Demanded() {
+			m.faults.FailedDemand++
+		}
+		m.cache.Fail(lb)
+		return
+	}
+	attempt := m.retries[lb] + 1
+	m.retries[lb] = attempt
+	if !b.Demanded() && attempt > m.cfg.MaxFetchRetries {
+		m.demote(lb)
+		return
+	}
+	m.faults.FetchRetries++
+	m.clk.After(m.cfg.retryBackoff(attempt), func() { m.refetch(lb, dk) })
+}
+
+// demote gives up on prefetching lb: the buffer is released, the block is
+// excluded from future pumping, and the eventual demand read fetches it
+// itself (clearing the demotion on success).
+func (m *Manager) demote(lb int64) {
+	delete(m.retries, lb)
+	m.demoted[lb] = true
+	m.faults.DemotedBlocks++
+	m.cache.Fail(lb)
+}
+
+// refetch re-submits the disk request for a still-in-transit block after a
+// backoff. A block a demand read started waiting on during the backoff is
+// upgraded to demand priority.
+func (m *Manager) refetch(lb int64, dk int) {
+	b := m.cache.Get(lb)
+	if b == nil || b.State() != cache.InTransit {
+		return // resolved meanwhile
+	}
+	_, phys := m.arr.Map(lb)
+	pri := disk.Prefetch
+	if b.Demanded() {
+		pri = disk.Demand
+	}
+	isPref := pri == disk.Prefetch
+	if isPref && m.arr.Dead(dk) {
+		m.demote(lb)
+		return
+	}
+	req := &disk.Request{
+		Disk: dk, PhysBlock: phys, Pri: pri,
+		Done: func(err error) { m.onFetchDone(lb, dk, isPref, err) },
+	}
+	if !m.arr.Submit(req) {
+		// Prefetch back-pressure on the retry path: demote rather than wedge.
+		m.demote(lb)
+		return
+	}
+	m.inflight[lb] = req
+	if isPref {
+		m.prefDepth[dk]++
+	}
 }
 
 func (m *Manager) retryPendingDemand() {
@@ -751,12 +932,18 @@ func (c *Client) compact() {
 	}
 }
 
+// ErrReadFailed reports a demand read that could not be satisfied: at least
+// one of its blocks resolved to an error with no retry left (its disk is
+// dead). Transient faults never produce it — those retry until they succeed.
+var ErrReadFailed = errors.New("tip: demand read failed (unrecoverable block)")
+
 // Read performs a demand read of [off, off+n) from f. hinted says whether
 // the application's read found a matching hint-log entry (core decides).
-// done runs when every block is valid; if everything is already cached,
-// done is NOT called and Read returns true (the caller continues
+// done runs when every block has resolved — with nil if all are valid, or
+// ErrReadFailed if any block is unrecoverable. If everything is already
+// cached, done is NOT called and Read returns true (the caller continues
 // synchronously — a cache hit costs no stall).
-func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func()) (immediate bool) {
+func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func(err error)) (immediate bool) {
 	m := c.m
 	bs := int64(m.fs.BlockSize())
 	first, last, ok := blockRange(f, off, n, bs)
@@ -781,11 +968,15 @@ func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func()) (imm
 	}
 
 	remaining := 0
-	var finish func()
-	dec := func() {
+	var readErr error
+	var finish func(err error)
+	dec := func(ok bool) {
+		if !ok {
+			readErr = ErrReadFailed
+		}
 		remaining--
 		if remaining == 0 && finish != nil {
-			finish()
+			finish(readErr)
 		}
 	}
 
@@ -816,9 +1007,11 @@ func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func()) (imm
 				m.arr.Promote(req)
 			}
 			remaining++
-			m.cache.Wait(lb, func() {
-				touchConsumed(lb)
-				dec()
+			m.cache.Wait(lb, func(ok bool) {
+				if ok {
+					touchConsumed(lb)
+				}
+				dec(ok)
 			})
 		default:
 			m.cache.NoteMiss()
@@ -833,21 +1026,27 @@ func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func()) (imm
 				// Raced with a prefetch issued meanwhile.
 				if blk.State() == cache.Valid {
 					touchConsumed(lb)
-					dec()
+					dec(true)
 					return true
 				}
-				m.cache.Wait(lb, func() {
-					touchConsumed(lb)
-					dec()
+				m.cache.NoteDemandWait(lb)
+				m.cache.Wait(lb, func(ok bool) {
+					if ok {
+						touchConsumed(lb)
+					}
+					dec(ok)
 				})
 				return true
 			}
 			if m.startFetch(c.id, lb, cache.OriginDemand, cache.NoHint) != fetchStarted {
 				return false
 			}
-			m.cache.Wait(lb, func() {
-				touchConsumed(lb)
-				dec()
+			m.cache.NoteDemandWait(lb)
+			m.cache.Wait(lb, func(ok bool) {
+				if ok {
+					touchConsumed(lb)
+				}
+				dec(ok)
 			})
 			return true
 		}

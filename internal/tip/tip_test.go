@@ -56,7 +56,7 @@ func (r *rig) readSync(t *testing.T, f *fsim.File, off, n int64, hinted bool) si
 	t.Helper()
 	start := r.clk.Now()
 	done := false
-	if r.m.Read(f, off, n, hinted, func() { done = true }) {
+	if r.m.Read(f, off, n, hinted, func(error) { done = true }) {
 		return 0
 	}
 	for !done {
