@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench
+.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench bench-trace
 
 all: build
 
@@ -36,7 +36,17 @@ smoke-faults:
 
 ci: vet fmt build race lint smoke-faults fuzz
 
-# bench regenerates the multiprogramming sweep and writes the results as
-# machine-readable JSON (full scale: expect minutes).
+# bench regenerates the canonical full-scale multiprogramming sweep into the
+# committed baseline under bench/results/ (expect minutes). Scratch runs that
+# should stay out of git can still write BENCH_*.json anywhere else — the
+# ignore rules swallow those but keep bench/results/ tracked.
 bench:
-	$(GO) run ./cmd/tipbench -exp multi -json BENCH_multi.json
+	@mkdir -p bench/results
+	$(GO) run ./cmd/tipbench -exp multi -json bench/results/BENCH_multi.json
+
+# bench-trace records a full cross-layer Chrome trace of a speculating group
+# next to the baseline; open it in chrome://tracing or ui.perfetto.dev.
+bench-trace:
+	@mkdir -p bench/results
+	$(GO) run ./cmd/tipbench -exp multi -scale test -multimax 3 \
+		-trace-json bench/results/TRACE_multi.json

@@ -12,9 +12,20 @@
 //	specrun -file prog.s -mode spec -json        # stats as JSON on stdout
 //	specrun -file prog.s -faults rate=0.05,seed=7  # inject disk faults
 //	specrun -file prog.s -deadline 500000000     # abort after 5e8 cycles (exit 3)
+//	specrun -file prog.s -trace-json t.json      # cross-layer trace for chrome://tracing
 //
 // Files from -dir are loaded into the simulated file system under their
 // relative paths, so the program's open() calls can name them directly.
+//
+// Exit codes (tool status and program status are kept separate — the
+// simulated program's exit code is reported in the stderr summary and the
+// -json document, never as specrun's own):
+//
+//	0  run completed and the program exited 0
+//	1  tool error (bad source, I/O error, simulation failure)
+//	2  usage error
+//	3  virtual-cycle deadline exceeded
+//	4  run completed but the program exited nonzero
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"spechint/internal/core"
 	"spechint/internal/fault"
 	"spechint/internal/fsim"
+	"spechint/internal/obs"
 	"spechint/internal/spechint"
 	"spechint/internal/workload"
 )
@@ -49,6 +61,8 @@ func main() {
 		ddline = flag.Int64("deadline", 0, "abort after this many virtual cycles (0 = default budget)")
 		faults = flag.String("faults", "", "fault-injection spec, e.g. rate=0.01,seed=42 (keys: "+
 			strings.Join(fault.Keys(), ", ")+")")
+		traceJSON   = flag.String("trace-json", "", "write the cross-layer trace as Chrome trace_event JSON to this file")
+		metricsJSON = flag.String("metrics-json", "", "write the sampled metric time series as JSON to this file")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -105,6 +119,11 @@ func main() {
 			fail(err)
 		}
 	}
+	var tr *obs.Trace
+	if *traceJSON != "" || *metricsJSON != "" {
+		tr = obs.New(obs.Config{})
+		cfg.Obs = tr
+	}
 
 	sys, err := core.New(cfg, prog, vfs)
 	if err != nil {
@@ -120,6 +139,13 @@ func main() {
 		fail(err)
 	}
 
+	if *traceJSON != "" {
+		writeExport(*traceJSON, tr.ChromeTraceJSON)
+	}
+	if *metricsJSON != "" {
+		writeExport(*metricsJSON, tr.MetricsJSON)
+	}
+
 	if *jsonF {
 		out, err := json.MarshalIndent(struct {
 			Mode    string         `json:"mode"`
@@ -130,7 +156,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(string(out))
-		os.Exit(int(st.ExitCode & 0x7f))
+		exitForProgram(st.ExitCode)
 	}
 
 	if !*quiet && st.Output != "" {
@@ -151,9 +177,31 @@ func main() {
 			st.ReadErrors, st.FaultRestarts, st.Degraded)
 	}
 	if *trace > 0 {
-		fmt.Fprint(os.Stderr, core.FormatTrace(sys.Events(), *trace))
+		fmt.Fprint(os.Stderr, core.FormatTrace(sys.Events(), *trace, sys.DroppedEvents()))
 	}
-	os.Exit(int(st.ExitCode & 0x7f))
+	exitForProgram(st.ExitCode)
+}
+
+// exitForProgram maps the simulated program's exit code onto specrun's own:
+// 0 stays 0, anything else becomes the reserved code 4 ("program exited
+// nonzero") so the program can never collide with the tool's codes 1-3. The
+// program's actual code is in the stderr summary and the -json document.
+func exitForProgram(code int64) {
+	if code == 0 {
+		os.Exit(0)
+	}
+	os.Exit(4)
+}
+
+// writeExport renders one exporter to a file.
+func writeExport(path string, render func() ([]byte, error)) {
+	data, err := render()
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err)
+	}
 }
 
 // loadDir copies a host directory tree into the simulated file system.

@@ -11,6 +11,8 @@
 //	tipbench -exp all          # everything, including the heavy sweeps
 //	tipbench -exp quick        # everything except the heavy sweeps
 //	tipbench -exp multi -multimax 4 -json BENCH_multi.json
+//	tipbench -exp table4 -trace-json trace.json -trace-app gnuld
+//	tipbench -exp multi -trace-json trace.json   # trace a speculating group
 package main
 
 import (
@@ -22,6 +24,8 @@ import (
 
 	"spechint/internal/apps"
 	"spechint/internal/bench"
+	"spechint/internal/core"
+	"spechint/internal/obs"
 )
 
 func main() {
@@ -31,6 +35,9 @@ func main() {
 		listFlag  = flag.Bool("list", false, "list available experiments")
 		multiMax  = flag.Int("multimax", 0, "largest group size for the multi experiment (0 keeps the default)")
 		jsonFlag  = flag.String("json", "", "also write the multi or faults sweep as JSON to this file")
+		traceJSON = flag.String("trace-json", "", "write a cross-layer Chrome trace_event JSON to this file "+
+			"(a speculating group when -exp includes multi, else a solo speculating run of -trace-app)")
+		traceApp = flag.String("trace-app", "gnuld", "application for the solo -trace-json run: agrep, gnuld, xds, postgres")
 	)
 	flag.Parse()
 
@@ -109,4 +116,62 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonFlag)
 	}
+
+	if *traceJSON != "" {
+		if err := writeTrace(*traceJSON, *traceApp, names, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceJSON)
+	}
+}
+
+// writeTrace records one traced run and writes its Chrome trace_event JSON:
+// a speculating multi group when the experiment list names multi, otherwise a
+// solo speculating run of the requested application.
+func writeTrace(path, appName string, names []string, scale apps.Scale) error {
+	var tr *obs.Trace
+	forMulti := false
+	for _, n := range names {
+		if strings.TrimSpace(n) == "multi" {
+			forMulti = true
+		}
+	}
+	if forMulti {
+		n := bench.MultiMaxN
+		if n > 4 {
+			n = 4 // a readable trace, not the full sweep
+		}
+		var err error
+		if tr, _, err = bench.TraceMulti(scale, n); err != nil {
+			return err
+		}
+	} else {
+		app, err := parseApp(appName)
+		if err != nil {
+			return err
+		}
+		if tr, _, err = bench.TraceRun(app, core.ModeSpeculating, scale); err != nil {
+			return err
+		}
+	}
+	out, err := tr.ChromeTraceJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func parseApp(name string) (apps.App, error) {
+	switch strings.ToLower(name) {
+	case "agrep":
+		return apps.Agrep, nil
+	case "gnuld", "ld":
+		return apps.Gnuld, nil
+	case "xds", "xdataslice":
+		return apps.XDataSlice, nil
+	case "postgres":
+		return apps.Postgres, nil
+	}
+	return 0, fmt.Errorf("unknown app %q (want agrep, gnuld, xds or postgres)", name)
 }

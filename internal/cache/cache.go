@@ -12,6 +12,9 @@ import (
 	"container/list"
 	"fmt"
 	"math"
+
+	"spechint/internal/obs"
+	"spechint/internal/sim"
 )
 
 // State is a cache block's lifecycle state.
@@ -40,6 +43,18 @@ const (
 	// OriginReadahead blocks were prefetched by the sequential read-ahead policy.
 	OriginReadahead
 )
+
+func (o Origin) String() string {
+	switch o {
+	case OriginDemand:
+		return "demand"
+	case OriginHint:
+		return "hint"
+	case OriginReadahead:
+		return "readahead"
+	}
+	return "origin"
+}
 
 // Block is one cache buffer.
 type Block struct {
@@ -111,6 +126,12 @@ type Cache struct {
 	// (accuracy/distance) rather than raw distance. Nil means all owners are
 	// equally reliable.
 	accuracyOf func(owner int) float64
+
+	// obs (with its clock source) records admit/evict/fail events on the
+	// "cache" lane. The cache itself has no clock, so the installer (the TIP
+	// manager) supplies one.
+	obs    *obs.Trace
+	obsNow func() sim.Time
 }
 
 // New returns a cache with the given capacity in blocks.
@@ -130,6 +151,20 @@ func New(capacity int) *Cache {
 // SetAccuracyFn installs the per-owner hint-accuracy source used by the
 // cross-owner marginal-benefit comparison.
 func (c *Cache) SetAccuracyFn(fn func(owner int) float64) { c.accuracyOf = fn }
+
+// SetObs installs a cross-layer trace and a virtual-clock source for
+// timestamping cache events (the cache holds no clock of its own).
+func (c *Cache) SetObs(tr *obs.Trace, now func() sim.Time) {
+	c.obs = tr
+	c.obsNow = now
+}
+
+// emit records a cache event when tracing is on.
+func (c *Cache) emit(name, format string, args ...any) {
+	if c.obs.Enabled() && c.obsNow != nil {
+		c.obs.Emitf(c.obsNow(), "cache", "cache", name, format, args...)
+	}
+}
 
 // SetPartition caps owner's resident hinted blocks at max (0 = unlimited).
 func (c *Cache) SetPartition(owner, max int) {
@@ -194,6 +229,7 @@ func (c *Cache) AcquireFor(owner int, lb int64, origin Origin, hintDist int64) *
 	if hintDist != NoHint {
 		c.hinted[owner]++
 	}
+	c.emit("admit", "lb=%d origin=%s owner=%d used=%d/%d", lb, origin, owner, len(c.blocks), c.capacity)
 	return b
 }
 
@@ -295,6 +331,7 @@ func (c *Cache) lessBeneficial(a, b *Block) bool {
 
 func (c *Cache) evict(b *Block) {
 	c.stats.EvictedClean++
+	c.emit("evict", "lb=%d origin=%s owner=%d uses=%d", b.LB, b.Origin, b.Owner, b.uses)
 	c.noteUnusedIfPrefetched(b)
 	c.dropHintAccounting(b)
 	c.lru.Remove(b.elem)
@@ -346,6 +383,7 @@ func (c *Cache) Fail(lb int64) {
 		panic(fmt.Sprintf("cache: Fail of block %d in bad state", lb))
 	}
 	c.stats.FailedLoads++
+	c.emit("fail", "lb=%d origin=%s owner=%d waiters=%d", lb, b.Origin, b.Owner, len(b.waiters))
 	c.dropHintAccounting(b)
 	delete(c.blocks, lb)
 	ws := b.waiters

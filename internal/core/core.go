@@ -28,6 +28,7 @@ import (
 	"spechint/internal/disk"
 	"spechint/internal/fault"
 	"spechint/internal/fsim"
+	"spechint/internal/obs"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
 	"spechint/internal/vm"
@@ -114,6 +115,18 @@ type Config struct {
 	// run costs memory and time.
 	TraceEvents bool
 
+	// MaxTraceEvents bounds the TraceEvents timeline; events past the cap
+	// are counted (RunStats.DroppedEvents) instead of recorded. Zero selects
+	// the default of 100_000.
+	MaxTraceEvents int
+
+	// Obs, when non-nil, is the cross-layer observability stream: New
+	// installs it on the private substrate (disk spans, cache and TIP
+	// events, metric gauges) and the core emits its own events under this
+	// process's lane. Purely observational — enabling it changes no run's
+	// cycle count.
+	Obs *obs.Trace
+
 	// MaxCycles aborts a runaway simulation. Zero means no limit.
 	MaxCycles int64
 
@@ -193,6 +206,13 @@ type pendingRead struct {
 	off  int64
 	n    int64
 	pc   int64 // original-text PC just after the read syscall
+
+	// Stall-attribution state: when the stall began, whether the read
+	// arrived hinted, and the substrate's fault-activity count at block
+	// time (a delta at wake charges the stall to the fault bucket).
+	stallStart sim.Time
+	hinted     bool
+	faultsAt   int64
 }
 
 // RunStats is everything one run produces; the bench harness assembles the
@@ -238,11 +258,60 @@ type RunStats struct {
 	// run actually did.
 	ReadSites map[int64]*ReadSiteStats
 
+	// Buckets is the exact stall attribution: every elapsed virtual cycle
+	// of the run charged to exactly one bucket (see StallBuckets).
+	Buckets StallBuckets
+
+	// DroppedEvents counts trace events lost to the TraceEvents capacity
+	// bound (zero when tracing is off or the run fit under the cap).
+	DroppedEvents int64
+
 	Tip    tip.Stats
 	Cache  cache.Stats
 	Disk   disk.Stats
 	Pages  vm.PageStats
 	Output string
+}
+
+// StallBuckets decomposes a run's elapsed virtual time, in cycles. The
+// buckets are mutually exclusive and exhaustive: their sum equals Elapsed
+// exactly (internal/bench asserts this for every app and mode).
+//
+//   - Compute: the original thread executing application work.
+//   - SpecOverhead: cycles the speculation machinery added to the original
+//     thread's own path — thread spawn (InitCycles), the per-read hint-log
+//     check, and register saves at off-track detections. Zero outside
+//     ModeSpeculating.
+//   - HintedStall: the original thread blocked on a read that arrived
+//     hinted (prefetching shortened, but did not fully hide, its latency).
+//   - UnhintedStall: the original thread blocked on an unhinted read.
+//   - FaultStall: the original thread blocked on a read whose service
+//     involved fault handling — a surfaced I/O error, or at least one
+//     transient-failure retry/backoff anywhere in the substrate while the
+//     read was in flight (substrate-wide attribution: under
+//     multiprogramming another process's retry storm can charge this
+//     bucket, which is exactly the interference being measured).
+//   - SchedWait: the original thread runnable but not scheduled. In a
+//     single-process run without speculation it is exactly zero (a runnable
+//     original thread always runs immediately). With a speculating thread it
+//     is near zero but not exact: a speculative CPU slice may overshoot the
+//     disk completion that wakes the original thread by the granularity of
+//     its final instruction, and those few cycles are genuinely
+//     runnable-but-waiting. Under multiprogramming it is the CPU queueing
+//     delay behind the other processes' quanta.
+type StallBuckets struct {
+	Compute       int64
+	SpecOverhead  int64
+	HintedStall   int64
+	UnhintedStall int64
+	FaultStall    int64
+	SchedWait     int64
+}
+
+// Total returns the sum of every bucket, which equals the run's elapsed
+// cycles.
+func (b StallBuckets) Total() int64 {
+	return b.Compute + b.SpecOverhead + b.HintedStall + b.UnhintedStall + b.FaultStall + b.SchedWait
 }
 
 // ReadSiteStats counts one read call site's dynamic behavior.
@@ -295,6 +364,50 @@ type Substrate struct {
 	FS  *fsim.FS
 	Arr *disk.Array
 	TIP *tip.Manager
+	Obs *obs.Trace // nil unless InstallObs was called
+}
+
+// InstallObs hooks the cross-layer observability stream into every layer of
+// the substrate — disk service spans, cache admit/evict events, TIP hint
+// lifecycles — and registers the standard metric gauges (cache hit ratio,
+// disk utilization and per-disk queue depth, outstanding prefetch depth,
+// hint accuracy). Install before building Systems on the substrate; Systems
+// created later pick the stream up at NewOn.
+func (sub *Substrate) InstallObs(tr *obs.Trace) {
+	sub.Obs = tr
+	sub.Arr.SetObs(tr)
+	sub.TIP.SetObs(tr)
+	if tr == nil {
+		return
+	}
+	clk, arr, tm := sub.Clk, sub.Arr, sub.TIP
+	tr.AddGauge("cache_hit_ratio", func() float64 {
+		st := tm.Cache().Stats()
+		if st.Hits+st.Misses == 0 {
+			return 0
+		}
+		return float64(st.Hits) / float64(st.Hits+st.Misses)
+	})
+	tr.AddGauge("cache_used_blocks", func() float64 { return float64(tm.Cache().Len()) })
+	tr.AddGauge("disk_utilization", func() float64 {
+		now := clk.Now()
+		if now == 0 {
+			return 0
+		}
+		return float64(arr.Stats().BusyCycles) / float64(now) / float64(arr.Config().NumDisks)
+	})
+	for i := 0; i < arr.Config().NumDisks; i++ {
+		i := i
+		tr.AddGauge(fmt.Sprintf("disk%d_queue_depth", i), func() float64 {
+			n := arr.QueueDepth(i)
+			if arr.Busy(i) {
+				n++
+			}
+			return float64(n)
+		})
+	}
+	tr.AddGauge("prefetch_depth", func() float64 { return float64(tm.PrefetchDepth()) })
+	tr.AddGauge("hint_accuracy", func() float64 { return tm.MeanAccuracy() })
 }
 
 // InstallFaults hooks a fault plan into the substrate's disk array (nil
@@ -365,11 +478,13 @@ type System struct {
 	cancelsRecent    int
 	disabledUntil    sim.Time
 
-	pending     *pendingRead
-	out         bytes.Buffer
-	sliceStart  sim.Time
-	events      []Event
-	watchdogErr error // fatal inconsistency caught by the deadlock watchdog
+	pending       *pendingRead
+	out           bytes.Buffer
+	sliceStart    sim.Time
+	events        []Event
+	droppedEvents int64      // events lost to the trace cap
+	obs           *obs.Trace // cross-layer stream (nil = untraced)
+	watchdogErr   error      // fatal inconsistency caught by the deadlock watchdog
 
 	stats          RunStats
 	final          *RunStats // cached by Finalize
@@ -392,6 +507,9 @@ func New(cfg Config, prog *vm.Program, fs *fsim.FS) (*System, error) {
 	}
 	if cfg.Faults != nil {
 		sub.InstallFaults(cfg.Faults)
+	}
+	if cfg.Obs != nil {
+		sub.InstallObs(cfg.Obs)
 	}
 	s, err := NewOn(sub, cfg, prog, "app")
 	if err != nil {
@@ -420,6 +538,7 @@ func NewOn(sub *Substrate, cfg Config, prog *vm.Program, name string) (*System, 
 	s := &System{
 		cfg: cfg, clk: sub.Clk, fs: sub.FS, arr: sub.Arr, tip: sub.TIP,
 		tipc: sub.TIP.NewClient(name), prog: prog, name: name,
+		obs: sub.Obs,
 	}
 	var err error
 	s.mach, err = vm.NewMachine(prog, s, cfg.Machine)
@@ -432,6 +551,9 @@ func NewOn(sub *Substrate, cfg Config, prog *vm.Program, name string) (*System, 
 		s.spec = s.mach.NewThread("speculating", vm.Speculative)
 		s.specFDs = fsim.NewFDTable()
 		s.orig.PendingCycles += cfg.InitCycles
+		// The spawn cost executes on the original thread's path: it is
+		// speculation overhead, not application compute.
+		s.stats.Buckets.SpecOverhead += cfg.InitCycles
 	}
 	s.stats.Mode = cfg.Mode
 	return s, nil

@@ -181,6 +181,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	hinted := false
 	if s.cfg.Mode == ModeSpeculating {
 		t.PendingCycles += s.cfg.HintLogCheckCycles
+		s.stats.Buckets.SpecOverhead += s.cfg.HintLogCheckCycles
 		if s.logNext < len(s.hintLog) && s.hintLog[s.logNext] == (logEntry{file.Ino(), off, reqLen}) {
 			// Speculation is, as far as we can tell, on track.
 			s.logNext++
@@ -191,6 +192,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 			// read is issued, so the speculating thread can restart during
 			// the coming stall.
 			t.PendingCycles += s.cfg.RegSaveCycles
+			s.stats.Buckets.SpecOverhead += s.cfg.RegSaveCycles
 			s.savedRegs = t.Regs
 			s.savedResult = n
 			s.savedPC = t.PC // Run already advanced past the syscall
@@ -214,7 +216,16 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 		t.Regs[vm.R1] = n
 		return vm.SysDone
 	}
-	s.pending = &pendingRead{fd: fd, buf: buf, file: file, off: off, n: n, pc: t.PC}
+	// The cycles this handler charged to the thread (hint-log check, register
+	// save) are consumed by the current slice *before* the block takes effect,
+	// so the stall begins that many cycles after the clock's present reading —
+	// counting them in the window too would double-charge them (they are
+	// already in OrigBusy).
+	s.pending = &pendingRead{
+		fd: fd, buf: buf, file: file, off: off, n: n, pc: t.PC,
+		stallStart: s.clk.Now() + sim.Time(t.PendingCycles),
+		hinted:     hinted, faultsAt: s.tip.Faults().FetchErrors,
+	}
 	return vm.SysBlock
 }
 
@@ -234,6 +245,7 @@ func (s *System) completeRead(err error) {
 		return
 	}
 	s.pending = nil
+	s.chargeStall(p, err)
 	if err != nil {
 		s.stats.ReadErrors++
 		s.trace(EvReadError, "%s off=%d: %v", p.file.Name, p.off, err)
@@ -258,6 +270,27 @@ func (s *System) completeRead(err error) {
 	s.trace(EvReadDone, "%s off=%d n=%d", p.file.Name, p.off, p.n)
 	s.finishRead(s.orig, p.file, p.fd, p.buf, p.off, p.n)
 	s.orig.Wake(p.n)
+}
+
+// chargeStall attributes the just-finished blocking stall (block → wake,
+// measured on the virtual clock) to exactly one bucket. Fault activity wins:
+// a stall during which the substrate saw fetch errors — or that itself
+// surfaced an error — was stretched by retry/backoff machinery, and lumping
+// it with clean stalls would overstate prefetching's shortfall. The fault
+// counter is substrate-wide, so under multiprogramming a neighbour's retry
+// can tip a concurrent stall into the fault bucket; per-read attribution
+// would need fault provenance plumbed through TIP and the disk array.
+func (s *System) chargeStall(p *pendingRead, err error) {
+	stall := int64(s.clk.Now() - p.stallStart)
+	b := &s.stats.Buckets
+	switch {
+	case err != nil || s.tip.Faults().FetchErrors != p.faultsAt:
+		b.FaultStall += stall
+	case p.hinted:
+		b.HintedStall += stall
+	default:
+		b.UnhintedStall += stall
+	}
 }
 
 // finishRead copies the data into the user buffer and advances the offset.

@@ -25,6 +25,7 @@ var ErrDeadline = errors.New("core: virtual-cycle deadline exceeded")
 // Run executes the application to completion and returns the run statistics.
 func (s *System) Run() (*RunStats, error) {
 	for !s.Done() {
+		s.obs.Tick(s.clk.Now())
 		if s.watchdogErr != nil {
 			return nil, s.watchdogErr
 		}
@@ -311,6 +312,16 @@ func (s *System) Finalize() *RunStats {
 	st.Elapsed = s.clk.Now()
 	st.ExitCode = s.orig.ExitCode
 	st.OrigInstrs = s.orig.Instrs
+	st.DroppedEvents = s.droppedEvents
+	// Close the stall-attribution accounting. Compute is what the original
+	// thread executed minus the overhead speculation charged to its path;
+	// SchedWait is the residual: exactly zero in a solo run without
+	// speculation, bounded by speculative-slice instruction granularity with
+	// it (see StallBuckets), and the CPU queueing delay under
+	// multiprogramming.
+	b := &st.Buckets
+	b.Compute = st.OrigBusy - b.SpecOverhead
+	b.SchedWait = int64(st.Elapsed) - st.OrigBusy - b.HintedStall - b.UnhintedStall - b.FaultStall
 	if s.spec != nil {
 		st.SpecInstrs = s.spec.Instrs
 		st.SpecSignals = s.spec.Signals

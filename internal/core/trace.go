@@ -62,26 +62,52 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12d  %-10s %s", e.At, e.Kind, e.Detail)
 }
 
-// maxTraceEvents bounds the trace so a long run cannot exhaust memory.
-const maxTraceEvents = 100_000
+// defaultMaxTraceEvents bounds the trace so a long run cannot exhaust memory;
+// Config.MaxTraceEvents overrides it.
+const defaultMaxTraceEvents = 100_000
 
-// trace appends an event if tracing is enabled.
+// maxTraceEvents returns the configured event cap.
+func (s *System) maxTraceEvents() int {
+	if s.cfg.MaxTraceEvents > 0 {
+		return s.cfg.MaxTraceEvents
+	}
+	return defaultMaxTraceEvents
+}
+
+// trace records an event on the core's own bounded timeline (when
+// Config.TraceEvents is set) and on the cross-layer obs stream (when the
+// substrate carries one), under this process's lane. Events past the local
+// cap are counted as dropped rather than silently discarded.
 func (s *System) trace(kind EventKind, format string, args ...any) {
-	if !s.cfg.TraceEvents || len(s.events) >= maxTraceEvents {
+	local := s.cfg.TraceEvents
+	toObs := s.obs.Enabled()
+	if !local && !toObs {
 		return
 	}
-	s.events = append(s.events, Event{
-		At:     s.clk.Now(),
-		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
-	})
+	detail := fmt.Sprintf(format, args...)
+	if local {
+		if len(s.events) >= s.maxTraceEvents() {
+			s.droppedEvents++
+		} else {
+			s.events = append(s.events, Event{At: s.clk.Now(), Kind: kind, Detail: detail})
+		}
+	}
+	if toObs {
+		s.obs.Emit(s.clk.Now(), s.name, "core", kind.String(), detail)
+	}
 }
 
 // Events returns the recorded timeline (empty unless Config.TraceEvents).
 func (s *System) Events() []Event { return s.events }
 
+// DroppedEvents returns how many events were lost to the trace cap.
+func (s *System) DroppedEvents() int64 { return s.droppedEvents }
+
 // FormatTrace renders up to limit events, eliding the middle of long traces.
-func FormatTrace(events []Event, limit int) string {
+// dropped is the count of events the recorder itself discarded at its
+// capacity bound (System.DroppedEvents); when nonzero it is surfaced as a
+// trailer so a truncated timeline can never pass for a complete one.
+func FormatTrace(events []Event, limit int, dropped int64) string {
 	if limit <= 0 || limit > len(events) {
 		limit = len(events)
 	}
@@ -92,7 +118,7 @@ func FormatTrace(events []Event, limit int) string {
 			b.WriteString(e.String())
 			b.WriteByte('\n')
 		}
-		return b.String()
+		return b.String() + droppedTrailer(dropped)
 	}
 	head := limit / 2
 	tail := limit - head
@@ -105,5 +131,12 @@ func FormatTrace(events []Event, limit int) string {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}
-	return b.String()
+	return b.String() + droppedTrailer(dropped)
+}
+
+func droppedTrailer(dropped int64) string {
+	if dropped <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("    ... %d later events dropped at the trace capacity ...\n", dropped)
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"spechint/internal/obs"
 	"spechint/internal/sim"
 )
 
@@ -138,7 +139,8 @@ type Array struct {
 	cfg   Config
 	disks []diskState
 	stats Stats
-	inj   Injector // nil = perfect hardware
+	inj   Injector   // nil = perfect hardware
+	obs   *obs.Trace // nil = tracing off; all methods are nil-safe
 
 	// OnIdle, if non-nil, is invoked whenever a disk finishes a request and
 	// has no further queued work. TIP uses it to re-try prefetches rejected
@@ -174,6 +176,10 @@ func New(clk *sim.Queue, cfg Config) (*Array, error) {
 
 // Config returns the array configuration.
 func (a *Array) Config() Config { return a.cfg }
+
+// SetObs installs a cross-layer trace; disk service intervals become spans
+// on per-disk lanes. Install before submitting requests.
+func (a *Array) SetObs(tr *obs.Trace) { a.obs = tr }
 
 // SetInjector installs a fault injector (nil restores perfect hardware).
 // Install before submitting requests; injection decisions are made at
@@ -221,6 +227,8 @@ func (a *Array) checkDeath(i int) {
 // failDead schedules r's ErrDead completion.
 func (a *Array) failDead(r *Request) {
 	a.stats.DeadReqs++
+	a.obs.Emitf(a.clk.Now(), fmt.Sprintf("disk%d", r.Disk), "disk", "dead",
+		"%s phys=%d completed ErrDead", r.Pri, r.PhysBlock)
 	if n, ok := a.inj.(interface{ NoteDeadHit() }); ok {
 		n.NoteDeadHit()
 	}
@@ -338,6 +346,20 @@ func (a *Array) startIfIdle(disk int) {
 		// Update the track-buffer window: the drive reads ahead physically.
 		d.nextSeqPhys = r.PhysBlock + 1
 		d.seqLimit = r.PhysBlock + 1 + int64(a.cfg.TrackBufBlocks)
+	}
+
+	if a.obs.Enabled() {
+		detail := fmt.Sprintf("phys=%d", r.PhysBlock)
+		if trackHit && !fail {
+			detail += " track-buffer"
+		}
+		if spike > 1 {
+			detail += fmt.Sprintf(" spike=%dx", spike)
+		}
+		if fail {
+			detail += " EIO"
+		}
+		a.obs.Span(a.clk.Now(), service, fmt.Sprintf("disk%d", disk), "disk", r.Pri.String(), detail)
 	}
 
 	notify := service * sim.Time(a.cfg.DelayFactor)

@@ -24,6 +24,7 @@ import (
 	"spechint/internal/disk"
 	"spechint/internal/fault"
 	"spechint/internal/fsim"
+	"spechint/internal/obs"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
 	"spechint/internal/workload"
@@ -62,6 +63,12 @@ type Config struct {
 	// schedule hits every process in the group (a disk death degrades the
 	// whole substrate, not one victim).
 	Faults *fault.Plan
+
+	// Obs, when non-nil, records the group's cross-layer trace: each process
+	// gets its own lane (named like "p0:gnuld/speculating") alongside the
+	// shared tip, cache and per-disk lanes, and the substrate gauges are
+	// sampled on virtual-time ticks. Tracing never changes cycle counts.
+	Obs *obs.Trace
 }
 
 // DefaultConfig mirrors the paper's testbed: four disks, 12 MB shared cache.
@@ -117,6 +124,9 @@ func NewGroup(cfg Config, scale apps.Scale, specs []ProcSpec) (*Group, error) {
 			return nil, err
 		}
 		sub.InstallFaults(cfg.Faults)
+	}
+	if cfg.Obs != nil {
+		sub.InstallObs(cfg.Obs)
 	}
 	g := &Group{cfg: cfg, sub: sub}
 
@@ -213,6 +223,7 @@ func (g *Group) retire(p *proc) {
 // otherwise advance the clock.
 func (g *Group) Run() (*Result, error) {
 	for !g.allDone() {
+		g.cfg.Obs.Tick(g.sub.Clk.Now())
 		if g.cfg.MaxCycles > 0 && int64(g.sub.Clk.Now()) > g.cfg.MaxCycles {
 			return nil, fmt.Errorf("multi: exceeded MaxCycles %d", g.cfg.MaxCycles)
 		}

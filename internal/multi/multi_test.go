@@ -150,6 +150,12 @@ func TestJainIndex(t *testing.T) {
 	if JainIndex(nil) != 0 {
 		t.Error("empty: want 0")
 	}
+	if JainIndex([]float64{0, 0, 0}) != 0 {
+		t.Error("all-zero: want 0 (degenerate, not a divide-by-zero)")
+	}
+	if got := JainIndex([]float64{5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("single value: %v, want 1", got)
+	}
 }
 
 func TestNewGroupRejectsEmpty(t *testing.T) {

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"spechint/internal/sim"
+)
+
+// chromeEvent is one trace_event entry. The format is documented in the
+// "Trace Event Format" spec consumed by chrome://tracing and Perfetto:
+// complete events carry ph="X" with a duration, instants ph="i", counters
+// ph="C", and metadata (thread names) ph="M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope: "t" (thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the trace_event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// tracePid is the single "process" every lane hangs off in the viewer.
+const tracePid = 1
+
+// ChromeTraceJSON renders the trace in Chrome trace_event JSON: load the
+// output in chrome://tracing or https://ui.perfetto.dev. Each lane becomes a
+// named thread row; metric gauges become counter tracks. Timestamps are
+// virtual cycles converted to microseconds of testbed time.
+func (t *Trace) ChromeTraceJSON() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: ChromeTraceJSON on a nil Trace")
+	}
+	usec := func(c sim.Time) float64 { return float64(c) / t.cfg.CyclesPerUsec }
+
+	// Lanes get tids in first-seen order, which is deterministic because the
+	// event stream is.
+	tids := map[string]int{}
+	var out []chromeEvent
+	laneTid := func(lane string) int {
+		tid, ok := tids[lane]
+		if !ok {
+			tid = len(tids) + 1
+			tids[lane] = tid
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"name": lane},
+			})
+			out = append(out, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"sort_index": tid},
+			})
+		}
+		return tid
+	}
+
+	for _, e := range t.events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Ts: usec(e.At),
+			Pid: tracePid, Tid: laneTid(e.Lane),
+		}
+		if e.Detail != "" {
+			ce.Args = map[string]any{"detail": e.Detail, "cycle": int64(e.At)}
+		}
+		if e.Dur > 0 {
+			d := usec(e.Dur)
+			ce.Ph = "X"
+			ce.Dur = &d
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+
+	for _, p := range t.points {
+		for i, g := range t.gauges {
+			out = append(out, chromeEvent{
+				Name: g.name, Cat: "metric", Ph: "C", Ts: usec(p.At),
+				Pid: tracePid, Tid: 0,
+				Args: map[string]any{"value": p.Values[i]},
+			})
+		}
+	}
+
+	return json.MarshalIndent(chromeTrace{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"cycles_per_usec": t.cfg.CyclesPerUsec,
+			"dropped_events":  t.dropped,
+		},
+	}, "", " ")
+}
+
+// metricsDoc is the flat metrics JSON layout.
+type metricsDoc struct {
+	SampleIntervalCycles sim.Time   `json:"sample_interval_cycles"`
+	Names                []string   `json:"names"`
+	Points               []pointDoc `json:"points"`
+	DroppedEvents        int64      `json:"dropped_events"`
+	Events               int        `json:"events"`
+}
+
+type pointDoc struct {
+	At     sim.Time  `json:"at"`
+	Values []float64 `json:"values"`
+}
+
+// MetricsJSON renders the sampled metric series as flat JSON: one row of
+// gauge names, one array of (virtual time, values) points.
+func (t *Trace) MetricsJSON() ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("obs: MetricsJSON on a nil Trace")
+	}
+	doc := metricsDoc{
+		SampleIntervalCycles: t.cfg.SampleInterval,
+		Names:                t.GaugeNames(),
+		Points:               make([]pointDoc, 0, len(t.points)),
+		DroppedEvents:        t.dropped,
+		Events:               len(t.events),
+	}
+	for _, p := range t.points {
+		doc.Points = append(doc.Points, pointDoc{At: p.At, Values: p.Values})
+	}
+	return json.MarshalIndent(doc, "", " ")
+}

@@ -26,6 +26,7 @@ import (
 	"spechint/internal/cache"
 	"spechint/internal/disk"
 	"spechint/internal/fsim"
+	"spechint/internal/obs"
 	"spechint/internal/sim"
 )
 
@@ -291,6 +292,8 @@ type Manager struct {
 	demoted     map[int64]bool
 	deadSkipped map[int64]bool
 	faults      FaultCounters
+
+	obs *obs.Trace // nil = tracing off; all methods are nil-safe
 }
 
 // Client is one process's handle on the manager: a private hint queue,
@@ -368,6 +371,45 @@ func (m *Manager) def() *Client {
 
 // Cache exposes the underlying cache (read-only use: stats, inspection).
 func (m *Manager) Cache() *cache.Cache { return m.cache }
+
+// SetObs installs a cross-layer trace: hint/prefetch/consume lifecycles land
+// on the "tip" lane, and the cache (which holds no clock) is wired to emit on
+// the "cache" lane with the manager's clock.
+func (m *Manager) SetObs(tr *obs.Trace) {
+	m.obs = tr
+	m.cache.SetObs(tr, m.clk.Now)
+}
+
+// emit records a tip event when tracing is on.
+func (m *Manager) emit(name, format string, args ...any) {
+	if m.obs.Enabled() {
+		m.obs.Emitf(m.clk.Now(), "tip", "tip", name, format, args...)
+	}
+}
+
+// PrefetchDepth returns the prefetch requests currently outstanding (queued
+// or in service) across the array — the depth the cost-benefit rule bounds.
+func (m *Manager) PrefetchDepth() int {
+	depth := 0
+	for _, d := range m.prefDepth {
+		depth += d
+	}
+	return depth
+}
+
+// MeanAccuracy returns the mean windowed hint accuracy over open clients
+// (1.0 with no clients — no evidence of error).
+func (m *Manager) MeanAccuracy() float64 {
+	open := m.openClients()
+	if len(open) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, c := range open {
+		sum += c.accuracy()
+	}
+	return sum / float64(len(open))
+}
 
 // Faults returns the substrate-wide degradation counters.
 func (m *Manager) Faults() FaultCounters { return m.faults }
@@ -562,9 +604,11 @@ func (c *Client) HintSeg(f *fsim.File, off, n int64) {
 	if m.cfg.MaxHintSegs > 0 && len(c.hints)-c.head >= m.cfg.MaxHintSegs {
 		// Hint buffers are full (runaway speculation): drop the hint.
 		c.stats.DroppedHints++
+		m.emit("hint-dropped", "client=%d %s off=%d n=%d (queue full)", c.id, f.Name, off, n)
 		return
 	}
 	c.hints = append(c.hints, seg)
+	m.emit("hint", "client=%d %s off=%d n=%d blocks=%d", c.id, f.Name, off, n, len(seg.blocks))
 	m.pump()
 }
 
@@ -593,6 +637,7 @@ func (c *Client) CancelAll() {
 	if c.m.cfg.IgnoreHints {
 		return
 	}
+	cancelled := 0
 	for i := c.head; i < len(c.hints); i++ {
 		seg := c.hints[i]
 		if seg.cancelled {
@@ -600,11 +645,13 @@ func (c *Client) CancelAll() {
 		}
 		seg.cancelled = true
 		c.stats.CancelledSegs++
+		cancelled++
 		c.accObserve(false, 1)
 		for _, lb := range seg.blocks {
 			c.unprotect(lb)
 		}
 	}
+	c.m.emit("cancel-all", "client=%d segs=%d", c.id, cancelled)
 	c.hints = c.hints[:0]
 	c.head = 0
 }
@@ -688,6 +735,7 @@ func (c *Client) pump() {
 			switch m.startFetch(c.id, lb, cache.OriginHint, d) {
 			case fetchStarted:
 				c.stats.HintPrefetches++
+				m.emit("prefetch", "client=%d lb=%d dist=%d", c.id, lb, d)
 			case fetchDiskBusy:
 				continue // this disk is at depth; later blocks may differ
 			case fetchNoBuffer:
@@ -782,6 +830,7 @@ func (m *Manager) handleFetchError(lb int64, dk int, err error) {
 		if b.Demanded() {
 			m.faults.FailedDemand++
 		}
+		m.emit("fetch-dead", "lb=%d disk=%d demanded=%v", lb, dk, b.Demanded())
 		m.cache.Fail(lb)
 		return
 	}
@@ -792,6 +841,7 @@ func (m *Manager) handleFetchError(lb int64, dk int, err error) {
 		return
 	}
 	m.faults.FetchRetries++
+	m.emit("fetch-retry", "lb=%d disk=%d attempt=%d backoff=%d", lb, dk, attempt, m.cfg.retryBackoff(attempt))
 	m.clk.After(m.cfg.retryBackoff(attempt), func() { m.refetch(lb, dk) })
 }
 
@@ -802,6 +852,7 @@ func (m *Manager) demote(lb int64) {
 	delete(m.retries, lb)
 	m.demoted[lb] = true
 	m.faults.DemotedBlocks++
+	m.emit("demote", "lb=%d after %d retries", lb, m.cfg.MaxFetchRetries)
 	m.cache.Fail(lb)
 }
 
@@ -889,10 +940,12 @@ func (c *Client) consume(f *fsim.File, off, n int64) {
 	if i < 0 {
 		return
 	}
+	bypassed := 0
 	for j := c.head; j < i; j++ {
 		seg := c.hints[j]
 		if !seg.cancelled && !seg.complete {
 			c.stats.BypassedSegs++
+			bypassed++
 			c.accObserve(false, 1)
 			for _, lb := range seg.blocks {
 				c.unprotect(lb)
@@ -901,6 +954,7 @@ func (c *Client) consume(f *fsim.File, off, n int64) {
 	}
 	c.head = i
 	seg := c.hints[i]
+	c.m.emit("consume", "client=%d %s off=%d n=%d bypassed=%d", c.id, f.Name, off, n, bypassed)
 	covEnd := off + n
 	if end := seg.dataEnd(); covEnd > end {
 		covEnd = end
@@ -1105,6 +1159,7 @@ func (c *Client) readahead(f *fsim.File, off, end, first, last int64) {
 			return
 		}
 		c.stats.RAPrefetches++
+		m.emit("readahead", "client=%d lb=%d run=%d", c.id, lb, st.runBlocks)
 	}
 }
 
