@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench bench-trace
+.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench bench-check bench-trace
 
 all: build
 
@@ -43,6 +43,13 @@ ci: vet fmt build race lint smoke-faults fuzz
 bench:
 	@mkdir -p bench/results
 	$(GO) run ./cmd/tipbench -exp multi -json bench/results/BENCH_multi.json
+
+# bench-check reruns the full-scale multi sweep and fails if it drifted more
+# than 10% from the committed baseline or flipped a who-wins ordering
+# (Figure 3 shape). Run it after simulator changes; if the drift is
+# intentional, regenerate the baseline with make bench and commit the diff.
+bench-check:
+	$(GO) run ./cmd/tipbench -check bench/results/BENCH_multi.json
 
 # bench-trace records a full cross-layer Chrome trace of a speculating group
 # next to the baseline; open it in chrome://tracing or ui.perfetto.dev.

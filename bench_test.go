@@ -6,6 +6,8 @@
 package spechint_bench
 
 import (
+	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -257,5 +259,24 @@ func BenchmarkTransform(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSweepWidth regenerates Figure 3 (nine independent simulation
+// cells) with the given worker-pool width. Comparing the Serial and
+// Parallel variants measures the fan-out engine's wall-clock win on this
+// host; outputs are byte-identical at any width, so only time differs.
+func benchmarkSweepWidth(b *testing.B, workers int) {
+	old := bench.Parallelism
+	bench.Parallelism = workers
+	defer func() { bench.Parallelism = old }()
+	scale := apps.SweepScale()
+	for i := 0; i < b.N; i++ {
+		if err := bench.RunByName("fig3", scale, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchmarkSweepWidth(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweepWidth(b, runtime.NumCPU()) }
 
 func itoa(v int) string { return strconv.Itoa(v) }

@@ -13,12 +13,16 @@
 //	tipbench -exp multi -multimax 4 -json BENCH_multi.json
 //	tipbench -exp table4 -trace-json trace.json -trace-app gnuld
 //	tipbench -exp multi -trace-json trace.json   # trace a speculating group
+//	tipbench -exp fig5 -parallel 4               # bound the worker pool
+//	tipbench -check bench/results/BENCH_multi.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -38,12 +42,22 @@ func main() {
 		traceJSON = flag.String("trace-json", "", "write a cross-layer Chrome trace_event JSON to this file "+
 			"(a speculating group when -exp includes multi, else a solo speculating run of -trace-app)")
 		traceApp = flag.String("trace-app", "gnuld", "application for the solo -trace-json run: agrep, gnuld, xds, postgres")
+		parallel = flag.Int("parallel", runtime.NumCPU(),
+			"simulation cells run concurrently (1 = serial; output is byte-identical at any width)")
+		checkFlag = flag.String("check", "",
+			"run a fresh multi sweep and fail if it regresses from this baseline JSON")
+		checkTol = flag.Float64("check-tol", 10, "makespan drift tolerance for -check, in percent")
 	)
 	flag.Parse()
 
 	if *multiMax > 0 {
 		bench.MultiMaxN = *multiMax
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "tipbench: -parallel must be >= 1, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	bench.Parallelism = *parallel
 
 	if *listFlag {
 		fmt.Println("available experiments:")
@@ -69,6 +83,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tipbench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *checkFlag != "" {
+		if err := runCheck(*checkFlag, scale, *checkTol); err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("check passed: multi sweep matches %s (tolerance %g%%)\n", *checkFlag, *checkTol)
+		return
 	}
 
 	var names []string
@@ -124,6 +147,30 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *traceJSON)
 	}
+}
+
+// runCheck reruns the multi sweep at the baseline's own size and fails if
+// the result drifted outside tolerance or flipped a who-wins ordering
+// (see bench.CheckMulti). Used by make bench-check.
+func runCheck(path string, scale apps.Scale, tolPct float64) error {
+	baseline, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var shape struct {
+		MaxN int `json:"max_n"`
+	}
+	if err := json.Unmarshal(baseline, &shape); err != nil {
+		return fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if shape.MaxN < 1 {
+		return fmt.Errorf("baseline %s: missing max_n", path)
+	}
+	fresh, err := bench.MultiJSON(scale, shape.MaxN)
+	if err != nil {
+		return err
+	}
+	return bench.CheckMulti(fresh, baseline, tolPct)
 }
 
 // writeTrace records one traced run and writes its Chrome trace_event JSON:

@@ -20,6 +20,7 @@ import (
 
 	"spechint/internal/asm"
 	"spechint/internal/fsim"
+	"spechint/internal/par"
 	"spechint/internal/spechint"
 	"spechint/internal/vm"
 	"spechint/internal/workload"
@@ -72,6 +73,13 @@ func Build(app App, scale Scale) (*Bundle, error) {
 // file system, populating it at the given scale. The multiprogramming layer
 // uses it to lay several processes' workloads onto one shared file system;
 // scale prefixes (see Scale.WithProcess) keep their file sets disjoint.
+//
+// The file system is populated fresh on every call (runs own their file
+// state), but the expensive artifacts — the assembled original and manual
+// binaries and the SpecHint transform — are deterministic functions of
+// (app, scale) and come from a shared immutable cache, so a parameter
+// sweep assembles each binary once instead of once per cell. The cache is
+// safe for concurrent builders (see internal/par).
 func BuildOn(fs *fsim.FS, app App, scale Scale) (*Bundle, error) {
 	var origSrc, manSrc string
 	switch app {
@@ -99,6 +107,53 @@ func BuildOn(fs *fsim.FS, app App, scale Scale) (*Bundle, error) {
 		return nil, fmt.Errorf("apps: unknown app %d", app)
 	}
 
+	pr, err := progCache.Get(progKey{app, scale}, func() (*cachedProgs, error) {
+		return assembleAndTransform(app, origSrc, manSrc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{
+		App: app, FS: fs,
+		Original: pr.orig, Transformed: pr.transformed, Manual: pr.man,
+		Transform: pr.tstats,
+	}, nil
+}
+
+// progKey identifies one set of built program artifacts. Scale is a value
+// type of plain ints and strings, so it is a usable (and exact) map key:
+// any scale change — selectivity, prefix, seed — is a different key.
+type progKey struct {
+	app   App
+	scale Scale
+}
+
+// cachedProgs are the immutable artifacts shared across cells. vm.Program
+// values are never mutated after assembly (machines copy Data into their
+// own memory and only read Text), so handing one instance to many
+// concurrently-running systems is safe.
+type cachedProgs struct {
+	orig        *vm.Program
+	man         *vm.Program
+	transformed *vm.Program
+	tstats      spechint.Stats
+}
+
+// progCache memoizes assembleAndTransform per (app, scale) for the life of
+// the process. Sweeps touch a handful of scales, so the cache stays small;
+// ResetProgramCache drops it (tests that measure the transform use it).
+var progCache = par.NewCache[progKey, *cachedProgs]()
+
+// ResetProgramCache empties the shared program cache.
+func ResetProgramCache() { progCache.Reset() }
+
+// ProgramCacheLen reports how many (app, scale) artifact sets are cached.
+func ProgramCacheLen() int { return progCache.Len() }
+
+// assembleAndTransform builds the three program variants from their
+// sources. Note the transform's Stats.Elapsed is the wall-clock time of
+// the one cached transform, not of the current caller.
+func assembleAndTransform(app App, origSrc, manSrc string) (*cachedProgs, error) {
 	orig, err := asm.Assemble(origSrc)
 	if err != nil {
 		return nil, fmt.Errorf("apps: %v original: %w", app, err)
@@ -111,11 +166,7 @@ func BuildOn(fs *fsim.FS, app App, scale Scale) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("apps: %v transform: %w", app, err)
 	}
-	return &Bundle{
-		App: app, FS: fs,
-		Original: orig, Transformed: tp, Manual: man,
-		Transform: tstats,
-	}, nil
+	return &cachedProgs{orig: orig, man: man, transformed: tp, tstats: tstats}, nil
 }
 
 // Scale bundles the three workload specs so experiments can run at full

@@ -1,0 +1,72 @@
+package apps
+
+import (
+	"testing"
+
+	"spechint/internal/par"
+)
+
+// TestProgramCacheReuse: two builds at the same (app, scale) share one set
+// of assembled programs but get fresh file systems.
+func TestProgramCacheReuse(t *testing.T) {
+	ResetProgramCache()
+	a, err := Build(Agrep, TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Agrep, TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Original != b.Original || a.Transformed != b.Transformed || a.Manual != b.Manual {
+		t.Error("same (app, scale) did not reuse cached programs")
+	}
+	if a.FS == b.FS {
+		t.Error("builds shared a file system; each run must own its file state")
+	}
+	if a.Transform != b.Transform {
+		t.Error("transform stats diverged for one cached artifact set")
+	}
+	if n := ProgramCacheLen(); n != 1 {
+		t.Errorf("cache holds %d artifact sets, want 1", n)
+	}
+}
+
+// TestProgramCacheKeyedByScale: any scale difference — here the
+// per-process prefix and seed — is a distinct artifact set.
+func TestProgramCacheKeyedByScale(t *testing.T) {
+	ResetProgramCache()
+	base := TestScale()
+	if _, err := Build(Agrep, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(Agrep, base.WithProcess(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if n := ProgramCacheLen(); n != 2 {
+		t.Errorf("cache holds %d artifact sets, want 2 (prefix/seed must key)", n)
+	}
+}
+
+// TestProgramCacheConcurrentBuilds: many concurrent builders on a few keys
+// produce consistent artifacts (run under -race, this is the smoke test
+// for the cache's concurrency story).
+func TestProgramCacheConcurrentBuilds(t *testing.T) {
+	ResetProgramCache()
+	scale := TestScale()
+	bundles, err := par.MapErr(8, 16, func(i int) (*Bundle, error) {
+		return Build(App(i%3), scale) // Agrep, Gnuld, XDataSlice
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bundles {
+		ref := bundles[i%3]
+		if b.Original != ref.Original || b.Transformed != ref.Transformed {
+			t.Fatalf("cell %d: cached programs diverged from cell %d", i, i%3)
+		}
+	}
+	if n := ProgramCacheLen(); n != 3 {
+		t.Errorf("cache holds %d artifact sets, want 3", n)
+	}
+}

@@ -11,14 +11,36 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"spechint/internal/apps"
 	"spechint/internal/core"
+	"spechint/internal/par"
 	"spechint/internal/vm"
 )
 
 // Apps is the benchmark suite order used by every table.
 var Apps = []apps.App{apps.Agrep, apps.Gnuld, apps.XDataSlice}
+
+// Parallelism is the worker-pool width the sweep experiments hand to the
+// fan-out engine (internal/par). The default is one worker per CPU;
+// tipbench's -parallel flag overrides it, and -parallel 1 reproduces
+// strictly serial execution. Like MultiMaxN it is set once before
+// experiments run, not mutated mid-sweep.
+//
+// The determinism contract: every experiment's output is byte-identical
+// at any width, because cells share nothing mutable (fresh workloads and
+// substrates per cell, immutable cached programs) and results are
+// assembled in index order regardless of completion order.
+var Parallelism = runtime.NumCPU()
+
+// parMap fans n independent cells out over the configured worker pool,
+// returning results in index order; the error (if any) is the
+// lowest-indexed cell's, independent of scheduling.
+func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return par.MapErr(Parallelism, n, fn)
+}
 
 // Mutator adjusts a configuration before a run (disk count, cache size...).
 type Mutator func(*core.Config)
@@ -65,25 +87,54 @@ type Triple struct {
 	Bundle *apps.Bundle // from the speculating run (transform stats)
 }
 
-// RunTriple runs all three variants of app.
+// RunTriple runs all three variants of app. The three runs are
+// independent simulations (each builds its own workload and substrate),
+// so they fan out across the worker pool.
 func RunTriple(app apps.App, scale apps.Scale, mutate Mutator) (*Triple, error) {
-	t := &Triple{App: app}
-	var err error
-	if t.Orig, _, err = Run(app, core.ModeNoHint, scale, mutate); err != nil {
+	triples, err := runTripleGrid(1, func(int) (apps.App, apps.Scale, Mutator) {
+		return app, scale, mutate
+	})
+	if err != nil {
 		return nil, err
 	}
-	if t.Spec, t.Bundle, err = Run(app, core.ModeSpeculating, scale, mutate); err != nil {
+	return triples[0], nil
+}
+
+// tripleModes is the fixed mode order of a triple's three runs.
+var tripleModes = [3]core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual}
+
+// runTripleGrid runs n triples — spec(i) names the i'th — as one flat
+// 3n-cell fan-out, so the worker pool sees every (config, mode) run at
+// once instead of three at a time. Results come back in spec order.
+func runTripleGrid(n int, spec func(i int) (apps.App, apps.Scale, Mutator)) ([]*Triple, error) {
+	type cell struct {
+		st *core.RunStats
+		b  *apps.Bundle
+	}
+	cells, err := parMap(3*n, func(j int) (cell, error) {
+		app, scale, mutate := spec(j / 3)
+		st, b, err := Run(app, tripleModes[j%3], scale, mutate)
+		return cell{st, b}, err
+	})
+	if err != nil {
 		return nil, err
 	}
-	if t.Manual, _, err = Run(app, core.ModeManual, scale, mutate); err != nil {
-		return nil, err
+	triples := make([]*Triple, n)
+	for i := range triples {
+		app, _, _ := spec(i)
+		t := &Triple{App: app,
+			Orig:   cells[3*i].st,
+			Spec:   cells[3*i+1].st,
+			Manual: cells[3*i+2].st,
+			Bundle: cells[3*i+1].b}
+		// Correctness invariant: all variants must compute the same result.
+		if t.Orig.ExitCode != t.Spec.ExitCode || t.Orig.ExitCode != t.Manual.ExitCode {
+			return nil, fmt.Errorf("bench: %v exit codes diverge: orig %d spec %d manual %d",
+				app, t.Orig.ExitCode, t.Spec.ExitCode, t.Manual.ExitCode)
+		}
+		triples[i] = t
 	}
-	// Correctness invariant: all variants must compute the same result.
-	if t.Orig.ExitCode != t.Spec.ExitCode || t.Orig.ExitCode != t.Manual.ExitCode {
-		return nil, fmt.Errorf("bench: %v exit codes diverge: orig %d spec %d manual %d",
-			app, t.Orig.ExitCode, t.Spec.ExitCode, t.Manual.ExitCode)
-	}
-	return t, nil
+	return triples, nil
 }
 
 // Improvement returns the percent reduction in elapsed time of st vs base.
@@ -92,9 +143,12 @@ func Improvement(base, st *core.RunStats) float64 {
 }
 
 // Suite runs and caches the three-variant runs that several tables share.
+// It is safe for concurrent use; Prewarm fills it across the worker pool.
 type Suite struct {
-	Scale   apps.Scale
-	Mutate  Mutator
+	Scale  apps.Scale
+	Mutate Mutator
+
+	mu      sync.Mutex
 	triples map[apps.App]*Triple
 }
 
@@ -106,13 +160,45 @@ func NewSuite(scale apps.Scale) *Suite {
 
 // Triple returns (running on first use) the cached triple for app.
 func (s *Suite) Triple(app apps.App) (*Triple, error) {
-	if t, ok := s.triples[app]; ok {
+	s.mu.Lock()
+	t, ok := s.triples[app]
+	s.mu.Unlock()
+	if ok {
 		return t, nil
 	}
 	t, err := RunTriple(app, s.Scale, s.Mutate)
 	if err != nil {
 		return nil, err
 	}
-	s.triples[app] = t
+	s.mu.Lock()
+	// A concurrent caller may have raced us here; keep the first stored
+	// triple so every reader sees one instance (the results are identical
+	// either way — the runs are deterministic).
+	if prev, ok := s.triples[app]; ok {
+		t = prev
+	} else {
+		s.triples[app] = t
+	}
+	s.mu.Unlock()
 	return t, nil
+}
+
+// Prewarm fills the suite's triples for every benchmark app as one flat
+// app-by-mode fan-out, so the suite-backed tables that follow hit the
+// cache.
+func (s *Suite) Prewarm() error {
+	triples, err := runTripleGrid(len(Apps), func(i int) (apps.App, apps.Scale, Mutator) {
+		return Apps[i], s.Scale, s.Mutate
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, app := range Apps {
+		if _, ok := s.triples[app]; !ok {
+			s.triples[app] = triples[i]
+		}
+	}
+	return nil
 }

@@ -59,14 +59,17 @@ func Table1(s *Suite) (string, error) {
 	}
 	// The paper's Table 1 also lists Patterson's Postgres join at two
 	// selectivities; reproduce those rows too.
-	for _, sel := range []int{20, 80} {
+	sels := []int{20, 80}
+	triples, err := runTripleGrid(len(sels), func(i int) (apps.App, apps.Scale, Mutator) {
 		scale := s.Scale
-		scale.Postgres.Selectivity = sel
-		tr, err := RunTriple(apps.Postgres, scale, s.Mutate)
-		if err != nil {
-			return "", err
-		}
-		t.row(fmt.Sprintf("Postgres, %d%%", sel), pct(Improvement(tr.Orig, tr.Manual)),
+		scale.Postgres.Selectivity = sels[i]
+		return apps.Postgres, scale, s.Mutate
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, sel := range sels {
+		t.row(fmt.Sprintf("Postgres, %d%%", sel), pct(Improvement(triples[i].Orig, triples[i].Manual)),
 			"database join, % tuples resulting")
 	}
 	return t.String(), nil
@@ -82,15 +85,17 @@ func JoinSelectivity(scale apps.Scale) (string, error) {
 		header = append(header, fmt.Sprintf("%d%%", sel))
 	}
 	t.row(header...)
+	triples, err := runTripleGrid(len(sels), func(i int) (apps.App, apps.Scale, Mutator) {
+		sc := scale
+		sc.Postgres.Selectivity = sels[i]
+		return apps.Postgres, sc, nil
+	})
+	if err != nil {
+		return "", err
+	}
 	spec := []string{"speculating"}
 	man := []string{"manual"}
-	for _, sel := range sels {
-		sc := scale
-		sc.Postgres.Selectivity = sel
-		tr, err := RunTriple(apps.Postgres, sc, nil)
-		if err != nil {
-			return "", err
-		}
+	for _, tr := range triples {
 		spec = append(spec, pct(Improvement(tr.Orig, tr.Spec)))
 		man = append(man, pct(Improvement(tr.Orig, tr.Manual)))
 	}
@@ -105,12 +110,14 @@ func Table3(scale apps.Scale) (string, error) {
 	t := newTable("Table 3: transformed application statistics")
 	t.row("Benchmark", "Modification time", "Executable size", "% increase",
 		"COW checks", "static jumps", "handler jumps", "jump tables")
-	for _, app := range Apps {
-		b, err := apps.Build(app, scale)
-		if err != nil {
-			return "", err
-		}
-		ts := b.Transform
+	bundles, err := parMap(len(Apps), func(i int) (*apps.Bundle, error) {
+		return apps.Build(Apps[i], scale)
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, app := range Apps {
+		ts := bundles[i].Transform
 		t.row(app.String(),
 			ts.Elapsed.String(),
 			fmt.Sprintf("%d B", ts.TotalBytes),
@@ -145,17 +152,21 @@ func Figure3(s *Suite) (string, error) {
 func Figure4(s *Suite) (string, error) {
 	t := newTable("Figure 4: runtime overhead with TIP ignoring hints")
 	t.row("Benchmark", "Original (s)", "Speculating, hints ignored (s)", "Overhead")
-	for _, app := range Apps {
+	ignored, err := parMap(len(Apps), func(i int) (*core.RunStats, error) {
+		ig, _, err := Run(Apps[i], core.ModeSpeculating, s.Scale, func(c *core.Config) {
+			c.TIP.IgnoreHints = true
+		})
+		return ig, err
+	})
+	if err != nil {
+		return "", err
+	}
+	for i, app := range Apps {
 		tr, err := s.Triple(app)
 		if err != nil {
 			return "", err
 		}
-		ig, _, err := Run(app, core.ModeSpeculating, s.Scale, func(c *core.Config) {
-			c.TIP.IgnoreHints = true
-		})
-		if err != nil {
-			return "", err
-		}
+		ig := ignored[i]
 		over := 100 * (float64(ig.Elapsed)/float64(tr.Orig.Elapsed) - 1)
 		t.row(app.String(), secs(tr.Orig), secs(ig), pct(over))
 	}
@@ -255,25 +266,25 @@ func Table7(scale apps.Scale) (string, error) {
 	t := newTable("Table 7: elapsed time (s) as the file cache size is varied")
 	sizes := []int{6, 12, 64}
 	t.row("Benchmark", "", "6 MB", "12 MB", "64 MB")
-	for _, app := range Apps {
+	triples, err := runTripleGrid(len(Apps)*len(sizes), func(i int) (apps.App, apps.Scale, Mutator) {
+		mb := sizes[i%len(sizes)]
+		return Apps[i/len(sizes)], scale, func(c *core.Config) {
+			c.TIP.CacheBlocks = mb << 20 / c.Disk.BlockSize
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
 		rows := map[core.Mode][]string{}
-		var base []*core.RunStats
-		for _, mb := range sizes {
-			mut := func(mb int) Mutator {
-				return func(c *core.Config) { c.TIP.CacheBlocks = mb << 20 / c.Disk.BlockSize }
-			}(mb)
-			tr, err := RunTriple(app, scale, mut)
-			if err != nil {
-				return "", err
-			}
-			base = append(base, tr.Orig)
+		for i := range sizes {
+			tr := triples[a*len(sizes)+i]
 			rows[core.ModeNoHint] = append(rows[core.ModeNoHint], secs(tr.Orig))
 			rows[core.ModeSpeculating] = append(rows[core.ModeSpeculating],
 				fmt.Sprintf("%s (%s)", secs(tr.Spec), pct(Improvement(tr.Orig, tr.Spec))))
 			rows[core.ModeManual] = append(rows[core.ModeManual],
 				fmt.Sprintf("%s (%s)", secs(tr.Manual), pct(Improvement(tr.Orig, tr.Manual))))
 		}
-		_ = base
 		t.row(append([]string{app.String(), "Original"}, rows[core.ModeNoHint]...)...)
 		t.row(append([]string{"", "SpecHint"}, rows[core.ModeSpeculating]...)...)
 		t.row(append([]string{"", "Manual"}, rows[core.ModeManual]...)...)
@@ -291,16 +302,20 @@ func Table8(scale apps.Scale) (string, error) {
 		header = append(header, fmt.Sprint(d))
 	}
 	t.row(header...)
-	for _, app := range Apps {
+	stats, err := parMap(len(Apps)*len(disks), func(i int) (*core.RunStats, error) {
+		d := disks[i%len(disks)]
+		st, _, err := Run(Apps[i/len(disks)], core.ModeNoHint, scale, func(c *core.Config) {
+			c.Disk = core.TestbedDisk(d)
+		})
+		return st, err
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
 		cells := []string{app.String()}
-		for _, d := range disks {
-			st, _, err := Run(app, core.ModeNoHint, scale, func(c *core.Config) {
-				c.Disk = core.TestbedDisk(d)
-			})
-			if err != nil {
-				return "", err
-			}
-			cells = append(cells, secs(st))
+		for i := range disks {
+			cells = append(cells, secs(stats[a*len(disks)+i]))
 		}
 		t.row(cells...)
 	}
@@ -318,16 +333,21 @@ func Figure5(scale apps.Scale) (string, error) {
 		header = append(header, fmt.Sprintf("%dd", d))
 	}
 	t.row(header...)
-	for _, app := range Apps {
+	nd := len(Figure5Disks)
+	triples, err := runTripleGrid(len(Apps)*nd, func(i int) (apps.App, apps.Scale, Mutator) {
+		d := Figure5Disks[i%nd]
+		return Apps[i/nd], scale, func(c *core.Config) {
+			c.Disk = core.TestbedDisk(d)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
 		spec := []string{app.String() + " speculating"}
 		man := []string{app.String() + " manual"}
-		for _, d := range Figure5Disks {
-			tr, err := RunTriple(app, scale, func(c *core.Config) {
-				c.Disk = core.TestbedDisk(d)
-			})
-			if err != nil {
-				return "", err
-			}
+		for i := range Figure5Disks {
+			tr := triples[a*nd+i]
 			spec = append(spec, pct(Improvement(tr.Orig, tr.Spec)))
 			man = append(man, pct(Improvement(tr.Orig, tr.Manual)))
 		}
@@ -351,21 +371,23 @@ func Figure6(scale apps.Scale) (string, error) {
 		header = append(header, fmt.Sprintf("x%d", r))
 	}
 	t.row(header...)
-	for _, app := range Apps {
+	nr := len(Figure6Ratios)
+	triples, err := runTripleGrid(len(Apps)*nr, func(i int) (apps.App, apps.Scale, Mutator) {
+		r := Figure6Ratios[i%nr]
+		return Apps[i/nr], scale, func(c *core.Config) {
+			c.Disk.DelayFactor = r
+			c.Disk.MaxPrefetchPerDisk = 1
+			c.MaxCycles *= int64(r)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
 		spec := []string{app.String() + " speculating"}
 		man := []string{app.String() + " manual"}
-		for _, r := range Figure6Ratios {
-			mut := func(r int) Mutator {
-				return func(c *core.Config) {
-					c.Disk.DelayFactor = r
-					c.Disk.MaxPrefetchPerDisk = 1
-					c.MaxCycles *= int64(r)
-				}
-			}(r)
-			tr, err := RunTriple(app, scale, mut)
-			if err != nil {
-				return "", err
-			}
+		for i := range Figure6Ratios {
+			tr := triples[a*nr+i]
 			// Scale measurements by 1/ratio, as the paper did. Improvement
 			// is a ratio of elapsed times, so the scaling cancels; it is
 			// the delayed *notification* that changes behaviour.
@@ -390,16 +412,20 @@ func RegionSize(scale apps.Scale) (string, error) {
 		header = append(header, fmt.Sprintf("%dB", rs))
 	}
 	t.row(header...)
-	for _, app := range Apps {
+	stats, err := parMap(len(Apps)*len(RegionSizes), func(i int) (*core.RunStats, error) {
+		rs := RegionSizes[i%len(RegionSizes)]
+		st, _, err := Run(Apps[i/len(RegionSizes)], core.ModeSpeculating, scale, func(c *core.Config) {
+			c.Machine.COWRegion = rs
+		})
+		return st, err
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
 		cells := []string{app.String()}
-		for _, rs := range RegionSizes {
-			st, _, err := Run(app, core.ModeSpeculating, scale, func(c *core.Config) {
-				c.Machine.COWRegion = rs
-			})
-			if err != nil {
-				return "", err
-			}
-			cells = append(cells, secs(st))
+		for i := range RegionSizes {
+			cells = append(cells, secs(stats[a*len(RegionSizes)+i]))
 		}
 		t.row(cells...)
 	}
@@ -449,22 +475,32 @@ func TransformOptions() spechint.Options { return spechint.DefaultOptions() }
 func MultiProcessor(scale apps.Scale) (string, error) {
 	t := newTable("§5 extension: speculation on a second processor (% improvement over original)")
 	t.row("Benchmark", "disks", "1 CPU spec", "2 CPU spec", "manual")
-	for _, app := range Apps {
-		for _, d := range []int{4, 10} {
-			mut := func(d int, mp bool) Mutator {
-				return func(c *core.Config) {
-					c.Disk = core.TestbedDisk(d)
-					c.DualProcessor = mp
-				}
-			}
-			tr, err := RunTriple(app, scale, mut(d, false))
-			if err != nil {
-				return "", err
-			}
-			mp, _, err := Run(app, core.ModeSpeculating, scale, mut(d, true))
-			if err != nil {
-				return "", err
-			}
+	disks := []int{4, 10}
+	mut := func(d int, mp bool) Mutator {
+		return func(c *core.Config) {
+			c.Disk = core.TestbedDisk(d)
+			c.DualProcessor = mp
+		}
+	}
+	// Four runs per (app, disks) point: the triple plus the dual-processor
+	// speculating run, all as one flat fan-out.
+	n := len(Apps) * len(disks)
+	triples, err := runTripleGrid(n, func(i int) (apps.App, apps.Scale, Mutator) {
+		return Apps[i/len(disks)], scale, mut(disks[i%len(disks)], false)
+	})
+	if err != nil {
+		return "", err
+	}
+	mps, err := parMap(n, func(i int) (*core.RunStats, error) {
+		mp, _, err := Run(Apps[i/len(disks)], core.ModeSpeculating, scale, mut(disks[i%len(disks)], true))
+		return mp, err
+	})
+	if err != nil {
+		return "", err
+	}
+	for a, app := range Apps {
+		for i, d := range disks {
+			tr, mp := triples[a*len(disks)+i], mps[a*len(disks)+i]
 			t.row(app.String(), fmt.Sprint(d),
 				pct(Improvement(tr.Orig, tr.Spec)),
 				pct(Improvement(tr.Orig, mp)),

@@ -7,6 +7,7 @@ import (
 	"spechint/internal/apps"
 	"spechint/internal/core"
 	"spechint/internal/fault"
+	"spechint/internal/sim"
 )
 
 // FaultRates is the transient-error-rate sweep used by the faults experiment
@@ -29,6 +30,10 @@ type FaultPoint struct {
 	FetchRetries int64   `json:"fetch_retries"`
 	Demoted      int64   `json:"demoted_blocks"`
 	SlowdownPct  float64 `json:"slowdown_pct"` // vs the same mode fault-free
+
+	// elapsed carries the raw cycle count from the cell to the slowdown
+	// pass; it stays out of the JSON (ElapsedSec reports the time).
+	elapsed sim.Time
 }
 
 // faultPlan builds the plan for one sweep cell: transient errors at the given
@@ -44,45 +49,54 @@ func faultPlan(rate float64) *fault.Plan {
 	return p
 }
 
-// faultsSweep runs the full (app, mode, rate) grid.
+// faultsSweep runs the full (app, mode, rate) grid as one flat fan-out.
+// Each cell builds its own seeded fault plan (plans are stateful — their
+// RNG stream and burst maps advance per decision — so a plan must never be
+// shared across cells). The rate-0 baseline each SlowdownPct needs is
+// itself a cell; slowdowns are computed after the grid is assembled.
 func faultsSweep(scale apps.Scale) ([]FaultPoint, error) {
-	var points []FaultPoint
-	for _, app := range Apps {
-		for _, mode := range []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual} {
-			var base *core.RunStats
-			for _, rate := range FaultRates {
-				r := rate
-				st, _, err := Run(app, mode, scale, func(c *core.Config) {
-					if r > 0 {
-						c.Faults = faultPlan(r)
-					}
-				})
-				if err != nil {
-					return nil, fmt.Errorf("bench: faults %v %v rate %g: %w", app, mode, rate, err)
-				}
-				if st.ReadErrors != 0 {
-					return nil, fmt.Errorf("bench: faults %v %v rate %g: %d demand reads surfaced EIO without disk death",
-						app, mode, rate, st.ReadErrors)
-				}
-				if rate == 0 {
-					base = st
-				}
-				pt := FaultPoint{
-					App:          app.String(),
-					Mode:         mode.String(),
-					Rate:         rate,
-					ElapsedSec:   st.Seconds(),
-					StallSec:     float64(st.StallCycles()) / core.CPUHz,
-					FaultedReqs:  st.Disk.FaultedReqs,
-					SpikedReqs:   st.Disk.SpikedReqs,
-					FetchRetries: st.TipFaults.FetchRetries,
-					Demoted:      st.TipFaults.DemotedBlocks,
-				}
-				if base != nil && base.Elapsed > 0 {
-					pt.SlowdownPct = 100 * float64(st.Elapsed-base.Elapsed) / float64(base.Elapsed)
-				}
-				points = append(points, pt)
+	modes := []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual}
+	nr := len(FaultRates)
+	points, err := parMap(len(Apps)*len(modes)*nr, func(i int) (FaultPoint, error) {
+		app := Apps[i/(len(modes)*nr)]
+		mode := modes[i/nr%len(modes)]
+		rate := FaultRates[i%nr]
+		st, _, err := Run(app, mode, scale, func(c *core.Config) {
+			if rate > 0 {
+				c.Faults = faultPlan(rate)
 			}
+		})
+		if err != nil {
+			return FaultPoint{}, fmt.Errorf("bench: faults %v %v rate %g: %w", app, mode, rate, err)
+		}
+		if st.ReadErrors != 0 {
+			return FaultPoint{}, fmt.Errorf("bench: faults %v %v rate %g: %d demand reads surfaced EIO without disk death",
+				app, mode, rate, st.ReadErrors)
+		}
+		return FaultPoint{
+			App:          app.String(),
+			Mode:         mode.String(),
+			Rate:         rate,
+			ElapsedSec:   st.Seconds(),
+			StallSec:     float64(st.StallCycles()) / core.CPUHz,
+			FaultedReqs:  st.Disk.FaultedReqs,
+			SpikedReqs:   st.Disk.SpikedReqs,
+			FetchRetries: st.TipFaults.FetchRetries,
+			Demoted:      st.TipFaults.DemotedBlocks,
+			elapsed:      st.Elapsed,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// FaultRates[0] is the fault-free baseline of each (app, mode) group.
+	for g := 0; g < len(points); g += nr {
+		base := points[g].elapsed
+		if base <= 0 {
+			continue
+		}
+		for i := g; i < g+nr; i++ {
+			points[i].SlowdownPct = 100 * float64(points[i].elapsed-base) / float64(base)
 		}
 	}
 	return points, nil

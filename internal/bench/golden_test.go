@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the bench/golden canonical RunStats files")
+
+// goldenDir is the committed canon, relative to this package's directory.
+const goldenDir = "../../bench/golden"
+
+func goldenModes() []core.Mode {
+	return []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual}
+}
+
+func goldenPath(app apps.App, mode core.Mode) string {
+	name := fmt.Sprintf("%s_%s.json", strings.ToLower(app.String()), mode.String())
+	return filepath.Join(goldenDir, name)
+}
+
+// goldenStats renders one cell's full RunStats as indented JSON — every
+// counter, stall bucket, read-site map and the program output itself.
+// Elapsed wall time is virtual (cycles), so the bytes are reproducible on
+// any host.
+func goldenStats(t *testing.T, app apps.App, mode core.Mode) []byte {
+	t.Helper()
+	st, _, err := Run(app, mode, apps.SweepScale(), nil)
+	if err != nil {
+		t.Fatalf("%v %v: %v", app, mode, err)
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestGoldenRunStats byte-compares every (app, mode) cell at sweep scale
+// against the committed canon in bench/golden. Any behavioral change to the
+// simulator — event ordering, cost model, cache policy, prefetch depth —
+// shows up here as a diff; run `go test ./internal/bench -run Golden
+// -update` to re-canonize on purpose and let review see the delta.
+func TestGoldenRunStats(t *testing.T) {
+	for _, app := range Apps {
+		for _, mode := range goldenModes() {
+			app, mode := app, mode
+			t.Run(fmt.Sprintf("%v/%v", app, mode), func(t *testing.T) {
+				got := goldenStats(t, app, mode)
+				path := goldenPath(app, mode)
+				if *updateGolden {
+					if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("no golden file (run with -update to create it): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s diverged from the golden run (%d bytes vs %d).\n"+
+						"If the change is intentional, re-canonize with:\n"+
+						"  go test ./internal/bench -run Golden -update\nfirst difference at byte %d",
+						path, len(got), len(want), firstDiff(got, want))
+				}
+			})
+		}
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

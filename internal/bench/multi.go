@@ -50,53 +50,62 @@ type MultiPoint struct {
 // multiSweep runs original and speculating groups at every size 1..maxN on
 // the shared testbed substrate. Per-process slowdown is measured against a
 // solo speculating run of the identical workload instance (same per-process
-// prefix and seeds, via FirstProcIndex), and those baselines are cached
-// across group sizes since process i's workload does not depend on N.
+// prefix and seeds, via FirstProcIndex); process i's workload does not
+// depend on N, so one solo baseline serves every group size.
+//
+// Every simulation of the sweep — maxN solo baselines plus an original and
+// a speculating group per size — is an independent cell, dispatched as one
+// flat fan-out over the worker pool and reassembled in size order.
 func multiSweep(scale apps.Scale, maxN int) ([]MultiPoint, error) {
 	if maxN < 1 {
 		return nil, fmt.Errorf("bench: multi sweep needs maxN >= 1, got %d", maxN)
 	}
 	cfg := multi.DefaultConfig()
-	solo := map[int]float64{}
-	soloFor := func(i int) (float64, error) {
-		if s, ok := solo[i]; ok {
-			return s, nil
+
+	// Cells 0..maxN-1: solo baselines. Cells maxN+2k, maxN+2k+1: the
+	// original and speculating groups of size k+1.
+	type cell struct {
+		solo float64
+		res  *multi.Result
+	}
+	cells, err := parMap(3*maxN, func(i int) (cell, error) {
+		if i < maxN {
+			c := cfg
+			c.FirstProcIndex = i
+			g, err := multi.NewGroup(c, scale, []multi.ProcSpec{
+				{App: multiMix[i%len(multiMix)], Mode: core.ModeSpeculating},
+			})
+			if err != nil {
+				return cell{}, fmt.Errorf("bench: multi solo baseline p%d: %w", i, err)
+			}
+			res, err := g.Run()
+			if err != nil {
+				return cell{}, fmt.Errorf("bench: multi solo baseline p%d: %w", i, err)
+			}
+			return cell{solo: res.Procs[0].Stats.Seconds()}, nil
 		}
-		c := cfg
-		c.FirstProcIndex = i
-		g, err := multi.NewGroup(c, scale, []multi.ProcSpec{
-			{App: multiMix[i%len(multiMix)], Mode: core.ModeSpeculating},
-		})
+		n, mode := (i-maxN)/2+1, core.ModeNoHint
+		if (i-maxN)%2 == 1 {
+			mode = core.ModeSpeculating
+		}
+		g, err := multi.NewGroup(cfg, scale, multiSpecs(n, mode))
 		if err != nil {
-			return 0, err
+			return cell{}, fmt.Errorf("bench: multi N=%d %v: %w", n, mode, err)
 		}
 		res, err := g.Run()
 		if err != nil {
-			return 0, err
+			return cell{}, fmt.Errorf("bench: multi N=%d %v: %w", n, mode, err)
 		}
-		s := res.Procs[0].Stats.Seconds()
-		solo[i] = s
-		return s, nil
+		return cell{res: res}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var points []MultiPoint
 	for n := 1; n <= maxN; n++ {
-		run := func(mode core.Mode) (*multi.Result, error) {
-			g, err := multi.NewGroup(cfg, scale, multiSpecs(n, mode))
-			if err != nil {
-				return nil, err
-			}
-			return g.Run()
-		}
-		orig, err := run(core.ModeNoHint)
-		if err != nil {
-			return nil, fmt.Errorf("bench: multi N=%d original: %w", n, err)
-		}
-		spec, err := run(core.ModeSpeculating)
-		if err != nil {
-			return nil, fmt.Errorf("bench: multi N=%d speculating: %w", n, err)
-		}
-
+		orig := cells[maxN+2*(n-1)].res
+		spec := cells[maxN+2*(n-1)+1].res
 		pt := MultiPoint{
 			N:          n,
 			OrigSec:    orig.Seconds(),
@@ -108,10 +117,7 @@ func multiSweep(scale apps.Scale, maxN int) ([]MultiPoint, error) {
 		}
 		var slowdowns []float64
 		for i, p := range spec.Procs {
-			base, err := soloFor(i)
-			if err != nil {
-				return nil, fmt.Errorf("bench: multi solo baseline p%d: %w", i, err)
-			}
+			base := cells[i].solo
 			mp := MultiProc{
 				Name:       p.Name,
 				App:        p.App.String(),

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"spechint/internal/apps"
+)
+
+// withParallelism runs fn at the given pool width, restoring the package
+// setting afterwards. The bench package contract is that Parallelism is
+// configured once before experiments run; tests in this package do not run
+// concurrently with each other, so swapping it here is safe.
+func withParallelism(w int, fn func()) {
+	old := Parallelism
+	Parallelism = w
+	defer func() { Parallelism = old }()
+	fn()
+}
+
+// TestSerialParallelIdentical is the differential determinism check at the
+// heart of the fan-out design: every experiment in the registry must render
+// byte-identical output with -parallel 1 and a multi-worker pool. Cells are
+// simulated in whatever order the workers reach them; the assembled tables
+// must not care.
+func TestSerialParallelIdentical(t *testing.T) {
+	oldMax := MultiMaxN
+	MultiMaxN = 2
+	defer func() { MultiMaxN = oldMax }()
+	scale := apps.TestScale()
+
+	for _, name := range Names() {
+		name := name
+		if Registry[name].Heavy && testing.Short() {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			var serial, parallel bytes.Buffer
+			withParallelism(1, func() {
+				if err := RunByName(name, scale, &serial); err != nil {
+					t.Fatalf("serial: %v", err)
+				}
+			})
+			withParallelism(4, func() {
+				if err := RunByName(name, scale, &parallel); err != nil {
+					t.Fatalf("parallel: %v", err)
+				}
+			})
+			if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+				t.Fatalf("experiment %s renders differently serial vs parallel:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					name, serial.Bytes(), parallel.Bytes())
+			}
+		})
+	}
+}
+
+// TestSerialParallelJSONIdentical covers the machine-readable exports the
+// committed baselines are built from: the multi and faults sweep JSON must
+// be byte-identical at any pool width.
+func TestSerialParallelJSONIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep JSON is heavy; skipped in -short")
+	}
+	scale := apps.TestScale()
+	var multiSerial, multiPar, faultsSerial, faultsPar []byte
+	var err error
+	withParallelism(1, func() {
+		if multiSerial, err = MultiJSON(scale, 2); err != nil {
+			t.Fatalf("serial multi: %v", err)
+		}
+		if faultsSerial, err = FaultsJSON(scale); err != nil {
+			t.Fatalf("serial faults: %v", err)
+		}
+	})
+	withParallelism(4, func() {
+		if multiPar, err = MultiJSON(scale, 2); err != nil {
+			t.Fatalf("parallel multi: %v", err)
+		}
+		if faultsPar, err = FaultsJSON(scale); err != nil {
+			t.Fatalf("parallel faults: %v", err)
+		}
+	})
+	if !bytes.Equal(multiSerial, multiPar) {
+		t.Errorf("multi sweep JSON differs serial vs parallel:\n%s\nvs\n%s", multiSerial, multiPar)
+	}
+	if !bytes.Equal(faultsSerial, faultsPar) {
+		t.Errorf("faults sweep JSON differs serial vs parallel:\n%s\nvs\n%s", faultsSerial, faultsPar)
+	}
+}
+
+// TestSerialParallelTraceIdentical repeats a traced run under both pool
+// widths and byte-compares the Chrome trace and metrics exports. Traces
+// record virtual (cycle) timestamps only, so the worker count must not leak
+// into a single cell's event stream.
+func TestSerialParallelTraceIdentical(t *testing.T) {
+	render := func() (trace, metrics []byte) {
+		tr, _, err := TraceMulti(apps.TestScale(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trace, err = tr.ChromeTraceJSON(); err != nil {
+			t.Fatal(err)
+		}
+		if metrics, err = tr.MetricsJSON(); err != nil {
+			t.Fatal(err)
+		}
+		return trace, metrics
+	}
+	var ts, ms, tp, mp []byte
+	withParallelism(1, func() { ts, ms = render() })
+	withParallelism(4, func() { tp, mp = render() })
+	if !bytes.Equal(ts, tp) {
+		t.Errorf("Chrome trace differs serial vs parallel (%d vs %d bytes)", len(ts), len(tp))
+	}
+	if !bytes.Equal(ms, mp) {
+		t.Errorf("metrics export differs serial vs parallel (%d vs %d bytes)", len(ms), len(mp))
+	}
+}

@@ -17,9 +17,14 @@ type Experiment struct {
 }
 
 // suiteExp wraps experiments that share the default-configuration triples.
+// The suite is prewarmed across the worker pool so the table formatter
+// only reads cached triples.
 func suiteExp(fn func(*Suite) (string, error)) func(apps.Scale, io.Writer) error {
 	return func(scale apps.Scale, w io.Writer) error {
 		s := NewSuite(scale)
+		if err := s.Prewarm(); err != nil {
+			return err
+		}
 		out, err := fn(s)
 		if err != nil {
 			return err

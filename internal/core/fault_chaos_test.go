@@ -69,7 +69,12 @@ func chaosRun(t *testing.T, app apps.App, mode Mode, spec string) *RunStats {
 func TestChaosRecoverableFaultsPreserveOutput(t *testing.T) {
 	for _, app := range chaosApps {
 		for _, mode := range chaosModes {
+			app, mode := app, mode
 			t.Run(fmt.Sprintf("%v/%v", app, mode), func(t *testing.T) {
+				// Cells are independent simulations sharing only the
+				// immutable program cache; running them concurrently makes
+				// the race detector patrol that sharing on every CI run.
+				t.Parallel()
 				base := chaosRun(t, app, mode, "")
 				if base.ReadErrors != 0 {
 					t.Fatalf("fault-free run saw %d read errors", base.ReadErrors)
@@ -137,7 +142,9 @@ func TestChaosDiskDeath(t *testing.T) {
 	// test scale runs ~35-50M cycles in every mode).
 	const spec = "seed=5,die=0@5000000"
 	for _, mode := range chaosModes {
+		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
+			t.Parallel()
 			st := chaosRun(t, apps.Gnuld, mode, spec)
 			if !st.Degraded {
 				t.Fatal("run not degraded after disk death")

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// BenchmarkQueueScheduleRun measures the steady-state event-queue cycle:
+// one Schedule (which allocates the Event) followed by one pop+run. The pop
+// half must stay allocation-free — the only alloc per iteration is the
+// Event itself.
+func BenchmarkQueueScheduleRun(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+10, fn)
+		q.RunNext()
+	}
+}
+
+// BenchmarkQueueRunNext isolates the pop: the queue is pre-filled outside
+// the timed region, so the loop body is pure heap maintenance and must
+// report 0 allocs/op.
+func BenchmarkQueueRunNext(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		q.Schedule(Time(i)*3, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.RunNext()
+	}
+}
+
+// BenchmarkQueueDeepHeap exercises sift paths on a standing 1k-event heap,
+// the regime the disk array and thread scheduler keep the queue in.
+func BenchmarkQueueDeepHeap(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		q.Schedule(Time(i*7%997), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+Time(i%61), fn)
+		q.RunNext()
+	}
+}
+
+// TestRunNextZeroAlloc pins the pop path's allocation count so a future
+// refactor (e.g. back to container/heap with boxing) fails loudly rather
+// than silently regressing every simulation.
+func TestRunNextZeroAlloc(t *testing.T) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		q.Schedule(Time(i%97), fn)
+	}
+	avg := testing.AllocsPerRun(256, func() {
+		q.RunNext()
+	})
+	if avg != 0 {
+		t.Fatalf("RunNext allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -54,8 +53,9 @@ func (q *Queue) Schedule(at Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, q.now))
 	}
 	q.seq++
-	e := &Event{at: at, seq: q.seq, fn: fn}
-	heap.Push(&q.events, e)
+	e := &Event{at: at, seq: q.seq, index: len(q.events), fn: fn}
+	q.events = append(q.events, e)
+	q.events.siftUp(e.index)
 	return e
 }
 
@@ -73,7 +73,7 @@ func (q *Queue) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&q.events, e.index)
+	q.events.remove(e.index)
 	e.index = -1
 }
 
@@ -86,12 +86,14 @@ func (q *Queue) PeekTime() (Time, bool) {
 }
 
 // RunNext pops and runs the earliest pending event, advancing the clock to
-// its time. It reports whether an event ran.
+// its time. It reports whether an event ran. The pop itself is
+// allocation-free: the heap is maintained inline on the backing slice, with
+// no interface round-trips (see BenchmarkQueueScheduleRun).
 func (q *Queue) RunNext() bool {
 	if len(q.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&q.events).(*Event)
+	e := q.events.remove(0)
 	e.index = -1
 	q.now = e.at
 	e.fn()
@@ -128,31 +130,71 @@ func (q *Queue) Drain() int {
 	return n
 }
 
-// eventHeap orders by (at, seq) so simultaneous events run FIFO.
+// eventHeap is a binary min-heap over (at, seq) — simultaneous events run
+// FIFO — maintained inline rather than through container/heap. This is the
+// hottest data structure in the simulator (every disk completion, thread
+// wakeup and prefetch lands here), and the inline form keeps pops free of
+// interface boxing and indirect heap.Interface calls.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
 }
-func (h *eventHeap) Pop() any {
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// remove detaches and returns the event at heap index i, restoring heap
+// order. The vacated tail slot is nilled so the garbage collector does not
+// retain run events through the backing array.
+func (h *eventHeap) remove(i int) *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	e := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i != n {
+		(*h).siftDown(i)
+		(*h).siftUp(i)
+	}
 	return e
 }

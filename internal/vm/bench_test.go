@@ -1,0 +1,86 @@
+package vm
+
+import "testing"
+
+// stepProg is a tight ALU/load/store/branch loop: r10 counts down from Imm,
+// each iteration does arithmetic plus a word store/load pair — the mix the
+// interpreter spends its time on under the benchmark applications.
+func stepProg(iters int64) *Program {
+	return prog([]Instr{
+		{Op: MOVI, Rd: 10, Imm: iters},
+		{Op: MOVI, Rd: 11, Imm: 512}, // buffer base in the data segment
+		// loop:
+		{Op: ADDI, Rd: 12, Rs1: 12, Imm: 3},
+		{Op: MUL, Rd: 13, Rs1: 12, Rs2: 12},
+		{Op: STW, Rs1: 11, Rs2: 13, Imm: 0},
+		{Op: LDW, Rd: 14, Rs1: 11, Imm: 0},
+		{Op: XOR, Rd: 12, Rs1: 12, Rs2: 14},
+		{Op: ADDI, Rd: 10, Rs1: 10, Imm: -1},
+		{Op: BNE, Rs1: 10, Rs2: R0, Imm: 2},
+		{Op: JMP, Imm: 9}, // spin here when done; the budget stops the run
+	})
+}
+
+// BenchmarkVMStep measures the interpreter's per-instruction cost on the
+// hot ALU/memory loop. Each b.N step executes one instruction (budget-bound
+// slices of 4096 cycles ≈ 4096 instructions at Default cost 1); the loop
+// must report 0 allocs/op — the step loop has no closures and no per-slice
+// heap state.
+func BenchmarkVMStep(b *testing.B) {
+	m, err := NewMachine(stepProg(1<<62), &scriptOS{}, testCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := m.NewThread("bench", Normal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var left = int64(b.N)
+	for left > 0 {
+		slice := int64(4096)
+		if slice > left {
+			slice = left
+		}
+		used, stop := m.Run(th, slice)
+		if stop != StopBudget {
+			b.Fatalf("stop = %v (err %v)", stop, th.Err)
+		}
+		left -= used
+	}
+}
+
+// BenchmarkVMRunSlice measures whole Run invocations with a short budget,
+// the scheduler's calling pattern: entry/exit overhead must also stay
+// allocation-free now that setReg/finish are methods rather than closures.
+func BenchmarkVMRunSlice(b *testing.B) {
+	m, err := NewMachine(stepProg(1<<62), &scriptOS{}, testCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	th := m.NewThread("bench", Normal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, stop := m.Run(th, 64); stop != StopBudget {
+			b.Fatalf("stop = %v (err %v)", stop, th.Err)
+		}
+	}
+}
+
+// TestRunZeroAlloc pins Run's allocation count at zero so a future change
+// that reintroduces per-slice closures (or lets a local escape) fails this
+// test instead of taxing every simulated instruction slice.
+func TestRunZeroAlloc(t *testing.T) {
+	m, err := NewMachine(stepProg(1<<62), &scriptOS{}, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := m.NewThread("bench", Normal)
+	avg := testing.AllocsPerRun(200, func() {
+		if _, stop := m.Run(th, 1024); stop != StopBudget {
+			t.Fatalf("stop = %v (err %v)", stop, th.Err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Run allocates %.2f objects/slice, want 0", avg)
+	}
+}

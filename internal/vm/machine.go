@@ -427,6 +427,25 @@ func (m *Machine) redirect(target int64) (int64, bool) {
 	return 0, false
 }
 
+// set writes v to rd, keeping R0 hard-wired to zero. It replaces the old
+// setReg closure in the step loop: a method has no capture environment, so
+// Run stays allocation-free (see BenchmarkVMStep).
+func (t *Thread) set(rd uint8, v int64) {
+	if rd != R0 {
+		t.Regs[rd] = v
+	}
+}
+
+// finish settles a run slice: it charges the consumed cycles to the thread
+// and the machine clock and clears the slice counter. Kept as a method (not
+// a closure over used) so used never escapes to the heap.
+func (m *Machine) finish(t *Thread, used int64, r StopReason) (int64, StopReason) {
+	t.Cycles += used
+	m.clock += used
+	m.sliceUsed = 0
+	return used, r
+}
+
 // Run executes t for at most budget cycles, returning the cycles actually
 // consumed and why execution stopped. Run panics if t is not Ready.
 func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
@@ -436,28 +455,17 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 	cost := m.cfg.Cost
 	var used int64
 
-	setReg := func(rd uint8, v int64) {
-		if rd != R0 {
-			t.Regs[rd] = v
-		}
-	}
-	finish := func(r StopReason) (int64, StopReason) {
-		t.Cycles += used
-		m.clock += used
-		m.sliceUsed = 0
-		return used, r
-	}
 	if t.PendingCycles > 0 {
 		used += t.PendingCycles
 		t.PendingCycles = 0
 		if used >= budget {
-			return finish(StopBudget)
+			return m.finish(t, used, StopBudget)
 		}
 	}
 
 	for used < budget {
 		if t.PC < 0 || t.PC >= int64(len(m.text)) {
-			return finish(m.fault(t, "vm: PC %d outside text", t.PC))
+			return m.finish(t, used, m.fault(t, "vm: PC %d outside text", t.PC))
 		}
 		ins := m.text[t.PC]
 		c := cost.Default
@@ -468,61 +476,61 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 		case NOP:
 
 		case ADD:
-			setReg(ins.Rd, t.Regs[ins.Rs1]+t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]+t.Regs[ins.Rs2])
 		case SUB:
-			setReg(ins.Rd, t.Regs[ins.Rs1]-t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]-t.Regs[ins.Rs2])
 		case MUL:
 			c = cost.Mul
-			setReg(ins.Rd, t.Regs[ins.Rs1]*t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]*t.Regs[ins.Rs2])
 		case DIV, MOD:
 			c = cost.Div
 			d := t.Regs[ins.Rs2]
 			if d == 0 {
 				used += c
-				return finish(m.fault(t, "vm: division by zero at PC %d", t.PC))
+				return m.finish(t, used, m.fault(t, "vm: division by zero at PC %d", t.PC))
 			}
 			if ins.Op == DIV {
-				setReg(ins.Rd, t.Regs[ins.Rs1]/d)
+				t.set(ins.Rd, t.Regs[ins.Rs1]/d)
 			} else {
-				setReg(ins.Rd, t.Regs[ins.Rs1]%d)
+				t.set(ins.Rd, t.Regs[ins.Rs1]%d)
 			}
 		case AND:
-			setReg(ins.Rd, t.Regs[ins.Rs1]&t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]&t.Regs[ins.Rs2])
 		case OR:
-			setReg(ins.Rd, t.Regs[ins.Rs1]|t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]|t.Regs[ins.Rs2])
 		case XOR:
-			setReg(ins.Rd, t.Regs[ins.Rs1]^t.Regs[ins.Rs2])
+			t.set(ins.Rd, t.Regs[ins.Rs1]^t.Regs[ins.Rs2])
 		case SHL:
-			setReg(ins.Rd, t.Regs[ins.Rs1]<<uint64(t.Regs[ins.Rs2]&63))
+			t.set(ins.Rd, t.Regs[ins.Rs1]<<uint64(t.Regs[ins.Rs2]&63))
 		case SHR:
-			setReg(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(t.Regs[ins.Rs2]&63)))
+			t.set(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(t.Regs[ins.Rs2]&63)))
 		case SLT:
 			v := int64(0)
 			if t.Regs[ins.Rs1] < t.Regs[ins.Rs2] {
 				v = 1
 			}
-			setReg(ins.Rd, v)
+			t.set(ins.Rd, v)
 
 		case ADDI:
-			setReg(ins.Rd, t.Regs[ins.Rs1]+ins.Imm)
+			t.set(ins.Rd, t.Regs[ins.Rs1]+ins.Imm)
 		case ANDI:
-			setReg(ins.Rd, t.Regs[ins.Rs1]&ins.Imm)
+			t.set(ins.Rd, t.Regs[ins.Rs1]&ins.Imm)
 		case ORI:
-			setReg(ins.Rd, t.Regs[ins.Rs1]|ins.Imm)
+			t.set(ins.Rd, t.Regs[ins.Rs1]|ins.Imm)
 		case XORI:
-			setReg(ins.Rd, t.Regs[ins.Rs1]^ins.Imm)
+			t.set(ins.Rd, t.Regs[ins.Rs1]^ins.Imm)
 		case SHLI:
-			setReg(ins.Rd, t.Regs[ins.Rs1]<<uint64(ins.Imm&63))
+			t.set(ins.Rd, t.Regs[ins.Rs1]<<uint64(ins.Imm&63))
 		case SHRI:
-			setReg(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(ins.Imm&63)))
+			t.set(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(ins.Imm&63)))
 		case SLTI:
 			v := int64(0)
 			if t.Regs[ins.Rs1] < ins.Imm {
 				v = 1
 			}
-			setReg(ins.Rd, v)
+			t.set(ins.Rd, v)
 		case MOVI:
-			setReg(ins.Rd, ins.Imm)
+			t.set(ins.Rd, ins.Imm)
 
 		case LDB, LDW:
 			t.Loads++
@@ -533,13 +541,13 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return finish(m.fault(t, "vm: load at %d out of range (PC %d)", addr, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: load at %d out of range (PC %d)", addr, t.PC))
 			}
 			m.touchPage(addr)
 			if ins.Op == LDB {
-				setReg(ins.Rd, int64(m.mem[addr]))
+				t.set(ins.Rd, int64(m.mem[addr]))
 			} else {
-				setReg(ins.Rd, int64(binary.LittleEndian.Uint64(m.mem[addr:])))
+				t.set(ins.Rd, int64(binary.LittleEndian.Uint64(m.mem[addr:])))
 			}
 
 		case LDBS, LDWS:
@@ -552,13 +560,13 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return finish(m.fault(t, "vm: spec load at %d out of range (PC %d)", addr, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: spec load at %d out of range (PC %d)", addr, t.PC))
 			}
 			m.touchPage(addr)
 			if ins.Op == LDBS {
-				setReg(ins.Rd, int64(t.Cow.LoadByte(m.mem, addr)))
+				t.set(ins.Rd, int64(t.Cow.LoadByte(m.mem, addr)))
 			} else {
-				setReg(ins.Rd, t.Cow.LoadWord(m.mem, addr))
+				t.set(ins.Rd, t.Cow.LoadWord(m.mem, addr))
 			}
 
 		case STB, STW:
@@ -570,14 +578,14 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return finish(m.fault(t, "vm: store at %d out of range (PC %d)", addr, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: store at %d out of range (PC %d)", addr, t.PC))
 			}
 			if t.Mode == Speculative && !m.inSpecPrivate(addr, size) {
 				// Shadow code must never store to shared memory unchecked;
 				// reaching here means speculation computed a wild address
 				// from stale data. Fault, as the SFI checks would.
 				used += c
-				return finish(m.fault(t, "vm: unchecked spec store at %d (PC %d)", addr, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: unchecked spec store at %d (PC %d)", addr, t.PC))
 			}
 			m.touchPage(addr)
 			if ins.Op == STB {
@@ -596,7 +604,7 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return finish(m.fault(t, "vm: spec store at %d out of range (PC %d)", addr, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: spec store at %d out of range (PC %d)", addr, t.PC))
 			}
 			m.touchPage(addr)
 			var fresh int
@@ -628,12 +636,12 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 		case JMP:
 			nextPC = ins.Imm
 		case CALL:
-			setReg(RA, t.PC+1)
+			t.set(RA, t.PC+1)
 			nextPC = ins.Imm
 		case JR:
 			nextPC = t.Regs[ins.Rs1]
 		case CALLR:
-			setReg(RA, t.PC+1)
+			t.set(RA, t.PC+1)
 			nextPC = t.Regs[ins.Rs1]
 		case RET:
 			nextPC = t.Regs[RA]
@@ -652,10 +660,10 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 				// The handling routine prevents the speculating thread from
 				// leaving the shadow code: halt this speculation.
 				used += c
-				return finish(m.fault(t, "vm: unmappable indirect target %d (PC %d)", target, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: unmappable indirect target %d (PC %d)", target, t.PC))
 			}
 			if ins.Op == CALLRH {
-				setReg(RA, t.PC+1)
+				t.set(RA, t.PC+1)
 			}
 			nextPC = mapped
 
@@ -665,7 +673,7 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			mapped, ok := m.redirect(target)
 			if !ok {
 				used += c
-				return finish(m.fault(t, "vm: jump-table target %d unmappable (PC %d)", target, t.PC))
+				return m.finish(t, used, m.fault(t, "vm: jump-table target %d unmappable (PC %d)", target, t.PC))
 			}
 			nextPC = mapped
 
@@ -682,24 +690,24 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 			switch verdict {
 			case SysDone:
 				if used >= budget {
-					return finish(StopBudget)
+					return m.finish(t, used, StopBudget)
 				}
 				continue
 			case SysYield:
-				return finish(StopYield)
+				return m.finish(t, used, StopYield)
 			case SysBlock:
 				t.State = Blocked
-				return finish(StopBlocked)
+				return m.finish(t, used, StopBlocked)
 			case SysHalt:
 				t.State = Halted
-				return finish(StopHalted)
+				return m.finish(t, used, StopHalted)
 			case SysFault:
-				return finish(m.fault(t, "vm: forbidden syscall %s at PC %d", SyscallName(ins.Imm), t.PC-1))
+				return m.finish(t, used, m.fault(t, "vm: forbidden syscall %s at PC %d", SyscallName(ins.Imm), t.PC-1))
 			}
 
 		default:
 			used += c
-			return finish(m.fault(t, "vm: illegal opcode %v at PC %d", ins.Op, t.PC))
+			return m.finish(t, used, m.fault(t, "vm: illegal opcode %v at PC %d", ins.Op, t.PC))
 		}
 
 		// Stack-pointer discipline: SpecHint places dynamic checks on
@@ -711,16 +719,16 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 				lo, hi := m.SpecStackBounds()
 				if sp < lo || sp > hi {
 					used += c
-					return finish(m.fault(t, "vm: spec SP %d out of bounds", sp))
+					return m.finish(t, used, m.fault(t, "vm: spec SP %d out of bounds", sp))
 				}
 			} else if sp < m.cfg.MemSize-m.cfg.StackSize || sp > m.cfg.MemSize {
 				used += c
-				return finish(m.fault(t, "vm: stack overflow, SP %d", sp))
+				return m.finish(t, used, m.fault(t, "vm: stack overflow, SP %d", sp))
 			}
 		}
 
 		t.PC = nextPC
 		used += c
 	}
-	return finish(StopBudget)
+	return m.finish(t, used, StopBudget)
 }
