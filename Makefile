@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fuzz smoke-faults ci bench bench-check bench-trace
+.PHONY: all build test race vet fmt lint speclint synth fuzz smoke-faults ci bench bench-check bench-trace
 
 all: build
 
@@ -20,11 +20,26 @@ fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# lint runs the shadow-text verifier over every benchmark app's transformed
-# binary; a nonzero exit means a transform invariant does not hold.
-lint:
+# lint runs the Go static analyzers: go vet always, staticcheck when it is on
+# PATH (CI installs the pinned version; locally the step is skipped with a
+# note rather than failing on a missing tool).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs the pinned version)"; \
+	fi
+
+# speclint runs the shadow-text verifier over every benchmark app's
+# transformed binary; a nonzero exit means a transform invariant does not hold.
+speclint:
 	$(GO) run ./cmd/spechint -app all -lint
 	$(GO) run ./cmd/spechint -app all -lint -no-stack-opt
+
+# synth synthesizes static hints for every benchmark app and audits them
+# against a dynamic static-mode run; an unconsumed hint is a nonzero exit.
+synth:
+	$(GO) run ./cmd/spechint -app all -synthesize
 
 # fuzz runs the native fault-containment fuzz target for a short budget.
 fuzz:
@@ -34,7 +49,7 @@ fuzz:
 smoke-faults:
 	$(GO) run ./cmd/tipbench -exp faults -scale test -json BENCH_faults_test.json
 
-ci: vet fmt build race lint smoke-faults fuzz
+ci: lint fmt build race speclint synth smoke-faults fuzz
 
 # bench regenerates the canonical full-scale multiprogramming sweep into the
 # committed baseline under bench/results/ (expect minutes). Scratch runs that

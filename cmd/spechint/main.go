@@ -3,8 +3,12 @@
 // applications) to perform speculative execution for I/O hint generation,
 // and reports the paper's Table 3 statistics. It can also run the static
 // analyses on their own: -analyze classifies every read call site by how
-// much of the file access pattern is statically computable, and -lint
-// verifies the transform invariants on the generated shadow text.
+// much of the file access pattern is statically computable, -lint verifies
+// the transform invariants on the generated shadow text, and -synthesize
+// compiles the access pattern into confidence-ranked static hints — for the
+// built-in apps it then runs the program in static mode and audits every
+// synthesized hint against the dynamic read-site statistics (a hint the run
+// never consumed is a lint error and a nonzero exit).
 //
 // Usage:
 //
@@ -12,6 +16,7 @@
 //	spechint -app agrep|gnuld|xds [-dis]
 //	spechint -app all -lint          # verify the shadow text of every app
 //	spechint -app xds -analyze       # static hintability report
+//	spechint -app all -synthesize    # synthesize + verify static hints
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"spechint/internal/analysis"
 	"spechint/internal/apps"
 	"spechint/internal/asm"
+	"spechint/internal/bench"
+	"spechint/internal/core"
 	"spechint/internal/spechint"
 	"spechint/internal/vm"
 )
@@ -35,12 +42,20 @@ func main() {
 		keepOutput = flag.Bool("keep-output", false, "keep output-routine calls in the shadow code")
 		analyze    = flag.Bool("analyze", false, "run the static hintability analysis instead of reporting transform stats")
 		lint       = flag.Bool("lint", false, "verify the transform invariants on the shadow text; nonzero exit on findings")
+		synthesize = flag.Bool("synthesize", false, "synthesize static hints; for built-in apps, also verify them against a dynamic run")
 	)
 	flag.Parse()
 
 	opt := spechint.DefaultOptions()
 	opt.StackCopyOptimization = !*noStackOpt
 	opt.RemoveOutputRoutines = !*keepOutput
+
+	if *synthesize {
+		if runSynthesize(*file, *app) {
+			return
+		}
+		os.Exit(1)
+	}
 
 	var progs []named
 	switch {
@@ -95,6 +110,79 @@ func main() {
 type named struct {
 	name string
 	prog *vm.Program
+}
+
+// runSynthesize handles the -synthesize mode. For a -file program it prints
+// the confidence-ranked hint report; for built-in apps it also runs each app
+// in static mode and audits the synthesized hints against the dynamic
+// read-site statistics. It returns false if any hint failed verification.
+func runSynthesize(file, app string) bool {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := asm.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		report, err := analysis.Synthesize(prog, analysis.Config{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.String())
+		fmt.Println("(no workload for a -file program: dynamic verification skipped)")
+		return true
+	}
+
+	var list []apps.App
+	switch app {
+	case "all":
+		list = []apps.App{apps.Agrep, apps.Gnuld, apps.XDataSlice, apps.Postgres}
+	case "agrep":
+		list = []apps.App{apps.Agrep}
+	case "gnuld":
+		list = []apps.App{apps.Gnuld}
+	case "xds", "xdataslice":
+		list = []apps.App{apps.XDataSlice}
+	case "postgres":
+		list = []apps.App{apps.Postgres}
+	default:
+		fail(fmt.Errorf("-synthesize needs -file or -app agrep|gnuld|xds|postgres|all, got app %q", app))
+	}
+
+	// Sweep scale matches the golden dynamic runs in bench/golden.
+	scale := apps.SweepScale()
+	ok := true
+	for _, a := range list {
+		if len(list) > 1 {
+			fmt.Printf("== %s ==\n", a)
+		}
+		b, err := apps.Build(a, scale)
+		if err != nil {
+			fail(err)
+		}
+		report, err := bench.Synth(b)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(report.String())
+
+		st, _, err := bench.Run(a, core.ModeStatic, scale, nil)
+		if err != nil {
+			fail(err)
+		}
+		findings := report.Verify(bench.DynStats(st))
+		if len(findings) == 0 {
+			fmt.Printf("dynamic verification: ok (%d hints, %d hinted reads, 0 bypassed)\n\n",
+				len(report.Hints), st.HintedReads)
+			continue
+		}
+		ok = false
+		fmt.Print(analysis.FormatFindings(b.Original, findings))
+		fmt.Println()
+	}
+	return ok
 }
 
 func buildApp(a apps.App) *vm.Program {

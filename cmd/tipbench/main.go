@@ -7,6 +7,7 @@
 //
 //	tipbench -list
 //	tipbench -exp fig3
+//	tipbench -exp static       # statically synthesized hints vs original/manual
 //	tipbench -exp table4,table5 -scale sweep
 //	tipbench -exp all          # everything, including the heavy sweeps
 //	tipbench -exp quick        # everything except the heavy sweeps

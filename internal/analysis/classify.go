@@ -136,9 +136,17 @@ func (r *Report) ClassCounts() map[AccessClass]int {
 // (e.g. reads reached only through unresolved indirect control flow) are
 // conservatively treated as data-dependent.
 func (r *Report) PredictedCoverage(weights map[int64]SiteWeight) float64 {
+	// Accumulate in sorted site order: float addition is order-sensitive, and
+	// map iteration order would make the low bits vary run to run.
+	pcs := make([]int64, 0, len(weights))
+	for pc := range weights {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
 	var predicted float64
 	var total int64
-	for pc, w := range weights {
+	for _, pc := range pcs {
+		w := weights[pc]
 		total += w.Calls
 		prob := ClassData.HintProbability()
 		if s, ok := r.Site(pc); ok {

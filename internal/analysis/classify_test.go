@@ -117,3 +117,57 @@ func TestReportStringMentionsEverySite(t *testing.T) {
 		t.Fatalf("report missing summary:\n%s", s)
 	}
 }
+
+// TestAnalyzeReportDeterministic: the -analyze report (Report.String) and the
+// synthesis report must be byte-identical across fresh builds of the same
+// program — no map-iteration order may leak into either.
+func TestAnalyzeReportDeterministic(t *testing.T) {
+	bundles := buildAllBundles(t)
+	for _, b := range bundles {
+		var prevAnalyze, prevSynth string
+		for trial := 0; trial < 5; trial++ {
+			r, err := Classify(b.Original, DefaultConfig())
+			if err != nil {
+				t.Fatalf("%v: %v", b.App, err)
+			}
+			got := r.String()
+			s, err := Synthesize(b.Original, Config{})
+			if err != nil {
+				t.Fatalf("%v: %v", b.App, err)
+			}
+			gotSynth := s.String()
+			if trial > 0 {
+				if got != prevAnalyze {
+					t.Fatalf("%v: analyze report differs between runs", b.App)
+				}
+				if gotSynth != prevSynth {
+					t.Fatalf("%v: synthesis report differs between runs", b.App)
+				}
+			}
+			prevAnalyze, prevSynth = got, gotSynth
+		}
+	}
+}
+
+// TestPredictedCoverageDeterministic: the float accumulation in
+// PredictedCoverage walks a map; it must sort first so the low bits do not
+// depend on iteration order.
+func TestPredictedCoverageDeterministic(t *testing.T) {
+	b := buildAllBundles(t)[0]
+	r, err := Classify(b.Original, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := make(map[int64]SiteWeight)
+	for i, s := range r.Sites {
+		weights[s.PC] = SiteWeight{Calls: int64(3 + i), DataCalls: int64(2 + i)}
+	}
+	// Also weight a PC absent from the report (conservative data-dependent path).
+	weights[1<<40] = SiteWeight{Calls: 7, DataCalls: 5}
+	first := r.PredictedCoverage(weights)
+	for trial := 0; trial < 32; trial++ {
+		if got := r.PredictedCoverage(weights); got != first {
+			t.Fatalf("PredictedCoverage varies: %v then %v", first, got)
+		}
+	}
+}

@@ -17,6 +17,22 @@ import (
 // of every block.
 func solveForward[S any](g *CFG, boundary func() S, clone func(S) S,
 	join func(dst S, src S) bool, transfer func(block int, s S) S) []S {
+	return solveForwardE(g, boundary, clone,
+		func(_ int, dst S, src S) bool { return join(dst, src) },
+		nil, transfer)
+}
+
+// solveForwardE is the general form of the forward solver. join receives the
+// destination block index, letting analyses keep per-join-point bookkeeping
+// (the value-range pass counts joins per block to trigger widening). edge,
+// when non-nil, refines the propagated state per successor edge before the
+// join — it receives a private clone it may mutate and return (branch
+// condition refinement lives here). Call edges never refine: the callee sees
+// the caller's exit state unchanged.
+func solveForwardE[S any](g *CFG, boundary func() S, clone func(S) S,
+	join func(block int, dst S, src S) bool,
+	edge func(from, to int, s S) S,
+	transfer func(block int, s S) S) []S {
 
 	in := make([]S, len(g.Blocks))
 	out := make([]S, len(g.Blocks))
@@ -28,6 +44,16 @@ func solveForward[S any](g *CFG, boundary func() S, clone func(S) S,
 	in[g.Entry] = boundary()
 	have[g.Entry] = true
 
+	// flow merges src into block s, returning whether s's entry state grew.
+	flow := func(s int, src S) bool {
+		if !have[s] {
+			in[s] = clone(src)
+			have[s] = true
+			return true
+		}
+		return join(s, in[s], src)
+	}
+
 	for len(work) > 0 {
 		b := work[0]
 		work = work[1:]
@@ -35,15 +61,11 @@ func solveForward[S any](g *CFG, boundary func() S, clone func(S) S,
 
 		out[b] = transfer(b, clone(in[b]))
 		for _, s := range g.Blocks[b].Succs {
-			changed := false
-			if !have[s] {
-				in[s] = clone(out[b])
-				have[s] = true
-				changed = true
-			} else if join(in[s], out[b]) {
-				changed = true
+			src := out[b]
+			if edge != nil {
+				src = edge(b, s, clone(out[b]))
 			}
-			if changed && !queued[s] {
+			if flow(s, src) && !queued[s] {
 				queued[s] = true
 				work = append(work, s)
 			}
@@ -55,15 +77,7 @@ func solveForward[S any](g *CFG, boundary func() S, clone func(S) S,
 			if cb < 0 {
 				continue
 			}
-			changed := false
-			if !have[cb] {
-				in[cb] = clone(out[b])
-				have[cb] = true
-				changed = true
-			} else if join(in[cb], out[b]) {
-				changed = true
-			}
-			if changed && !queued[cb] {
+			if flow(cb, out[b]) && !queued[cb] {
 				queued[cb] = true
 				work = append(work, cb)
 			}

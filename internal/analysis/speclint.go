@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"spechint/internal/asm"
@@ -81,10 +82,17 @@ func Lint(p *vm.Program, opt spechint.Options) []Finding {
 	if p.Entry >= n {
 		add(LintShape, p.Entry, "entry %d inside shadow text", p.Entry)
 	}
-	for name, addr := range p.Symbols {
-		if strings.HasSuffix(name, "$shadow") {
-			continue
+	// Iterate symbols in sorted order: findings must be deterministic across
+	// runs (map iteration order is not).
+	names := make([]string, 0, len(p.Symbols))
+	for name := range p.Symbols {
+		if !strings.HasSuffix(name, "$shadow") {
+			names = append(names, name)
 		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		addr := p.Symbols[name]
 		if got, ok := p.Symbols[name+"$shadow"]; !ok {
 			add(LintShape, addr, "symbol %q has no $shadow twin", name)
 		} else if got != addr+n {

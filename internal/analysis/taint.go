@@ -253,6 +253,28 @@ type taintAnalysis struct {
 	// sites accumulates, per read-syscall PC, the joined component taints
 	// across all abstract visits.
 	sites map[int64]*siteTaints
+
+	// dirty marks regions whose runtime content may diverge from the
+	// initialized data image: store targets and read/fstat buffers. A clean
+	// region's bytes equal p.Data at every program point, so the static
+	// passes (range, synth) may constant-fold loads from it.
+	dirty []bool
+}
+
+func (a *taintAnalysis) markDirty(region int) {
+	if region == regionUnknown {
+		for i := range a.dirty {
+			a.dirty[i] = true
+		}
+		return
+	}
+	a.dirty[region] = true
+}
+
+// cleanRegion reports whether loads from region always observe the
+// initialized data image.
+func (a *taintAnalysis) cleanRegion(region int) bool {
+	return region >= 0 && region < len(a.dirty) && !a.dirty[region]
 }
 
 type siteTaints struct {
@@ -391,6 +413,7 @@ func (a *taintAnalysis) transfer(s *taintState, pc int64, ins vm.Instr) {
 
 	case ins.Op.IsStore():
 		region, choice := a.baseRegion(s, a.val(s, ins.Rs1), ins.Imm, ins.Rs1 == vm.SP)
+		a.markDirty(region)
 		t := choice.Join(taintOf(a.val(s, ins.Rs2)))
 		if region == regionUnknown {
 			// Unknown target: every region may have been written.
@@ -443,6 +466,7 @@ func (a *taintAnalysis) syscall(s *taintState, pc int64, code int64) {
 			content = TaintData
 		}
 		region, _ := a.baseRegion(s, a.val(s, vm.R2), 0, false)
+		a.markDirty(region)
 		if region == regionUnknown {
 			for i := range s.mem {
 				s.mem[i] = s.mem[i].Join(content)
@@ -459,6 +483,7 @@ func (a *taintAnalysis) syscall(s *taintState, pc int64, code int64) {
 
 	case vm.SysFstat:
 		region, _ := a.baseRegion(s, a.val(s, vm.R2), 0, false)
+		a.markDirty(region)
 		if region != regionUnknown {
 			s.mem[region] = s.mem[region].Join(TaintHeader)
 		}
@@ -475,6 +500,7 @@ func (a *taintAnalysis) syscall(s *taintState, pc int64, code int64) {
 func runTaint(g *CFG) (*taintAnalysis, []*taintState) {
 	p := g.Prog
 	a := &taintAnalysis{p: p, rg: buildRegions(p), sites: make(map[int64]*siteTaints)}
+	a.dirty = make([]bool, a.rg.count())
 
 	boundary := func() *taintState {
 		s := newTaintState(a.rg.count())

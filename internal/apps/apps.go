@@ -51,7 +51,9 @@ func (a App) String() string {
 }
 
 // Bundle is a fully prepared benchmark: file system plus the three program
-// variants (original, transformed, manual).
+// variants (original, transformed, manual). The static hint synthesis over
+// the original binary lives one layer up (bench.Synth) — the analysis
+// package's tests build bundles, so apps cannot import analysis.
 type Bundle struct {
 	App         App
 	FS          *fsim.FS

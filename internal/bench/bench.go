@@ -60,10 +60,21 @@ func Run(app apps.App, mode core.Mode, scale apps.Scale, mutate Mutator) (*core.
 		prog = b.Transformed
 	case core.ModeManual:
 		prog = b.Manual
+	case core.ModeStatic:
+		// Static mode runs the unmodified binary; the hints come from the
+		// offline synthesis cached in the bundle.
+		prog = b.Original
 	default:
 		return nil, nil, fmt.Errorf("bench: bad mode %v", mode)
 	}
 	cfg := core.DefaultConfig(mode)
+	if mode == core.ModeStatic {
+		synth, err := Synth(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.StaticHints = StaticHints(synth)
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}

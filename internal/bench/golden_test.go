@@ -20,7 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite the bench/golden canonica
 const goldenDir = "../../bench/golden"
 
 func goldenModes() []core.Mode {
-	return []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual}
+	return []core.Mode{core.ModeNoHint, core.ModeSpeculating, core.ModeManual, core.ModeStatic}
 }
 
 func goldenPath(app apps.App, mode core.Mode) string {

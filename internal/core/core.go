@@ -46,6 +46,11 @@ const (
 	ModeSpeculating
 	// ModeManual runs an application with programmer-inserted hint calls.
 	ModeManual
+	// ModeStatic runs the unmodified application with hints synthesized
+	// offline by static analysis (internal/analysis.Synthesize) and issued
+	// in bulk at program start. The hints are in Config.StaticHints; they
+	// cost the application zero cycles because no code was added to it.
+	ModeStatic
 )
 
 func (m Mode) String() string {
@@ -56,6 +61,8 @@ func (m Mode) String() string {
 		return "speculating"
 	case ModeManual:
 		return "manual"
+	case ModeStatic:
+		return "static"
 	}
 	return "unknown"
 }
@@ -134,6 +141,21 @@ type Config struct {
 	// (private substrates only; multiprogramming installs a shared plan on
 	// its own substrate).
 	Faults *fault.Plan
+
+	// StaticHints is the synthesized hint list for ModeStatic, in the order
+	// the run is expected to consume them (TIP bypasses — and penalizes —
+	// out-of-order segments). Ignored in every other mode.
+	StaticHints []StaticHint
+}
+
+// StaticHint is one statically synthesized disclosure: a future read of
+// [Off, Off+N) in the file named Path, with the analysis confidence that
+// produced it (tip.Client.HintSegConf bounds prefetch depth by it).
+type StaticHint struct {
+	Path string
+	Off  int64
+	N    int64
+	Conf float64
 }
 
 // TestbedDisk returns the paper's array: HP C2247-class disks (15 ms average
@@ -178,8 +200,11 @@ func (c Config) Validate() error {
 	if err := c.TIP.Validate(); err != nil {
 		return err
 	}
-	if c.Mode < ModeNoHint || c.Mode > ModeManual {
+	if c.Mode < ModeNoHint || c.Mode > ModeStatic {
 		return fmt.Errorf("core: bad mode %d", c.Mode)
+	}
+	if len(c.StaticHints) > 0 && c.Mode != ModeStatic {
+		return fmt.Errorf("core: StaticHints given in mode %v", c.Mode)
 	}
 	if c.CopyPer8B < 0 || c.HintLogCheckCycles < 0 || c.RegSaveCycles < 0 {
 		return fmt.Errorf("core: negative overhead cycles")
@@ -556,7 +581,45 @@ func NewOn(sub *Substrate, cfg Config, prog *vm.Program, name string) (*System, 
 		s.stats.Buckets.SpecOverhead += cfg.InitCycles
 	}
 	s.stats.Mode = cfg.Mode
+	if cfg.Mode == ModeStatic {
+		s.issueStaticHints()
+	}
 	return s, nil
+}
+
+// issueStaticHints discloses the synthesized hint list at clock zero,
+// before the first instruction runs. The application itself is unmodified,
+// so nothing is charged to its path: static mode's SpecOverhead is zero by
+// construction. The client's accuracy prior is set to the mean confidence
+// of the issued hints, so TIP starts from the analysis's own estimate
+// rather than an optimistic 1.0.
+func (s *System) issueStaticHints() {
+	if len(s.cfg.StaticHints) == 0 {
+		return
+	}
+	var confSum float64
+	n := 0
+	for _, h := range s.cfg.StaticHints {
+		if _, ok := s.fs.Lookup(h.Path); !ok {
+			continue
+		}
+		confSum += h.Conf
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	s.tipc.SetPrior(confSum / float64(n))
+	for _, h := range s.cfg.StaticHints {
+		f, ok := s.fs.Lookup(h.Path)
+		if !ok {
+			// A synthesized hint for a file the run does not have would be a
+			// false hint; skip it (speclint's dynamic verification reports
+			// such hints against the golden run).
+			continue
+		}
+		s.tipc.HintSegConf(f, h.Off, h.N, h.Conf)
+	}
 }
 
 // Clock exposes the simulation clock (tests, tools).

@@ -445,3 +445,79 @@ func TestSpeculatingOutputSuppressed(t *testing.T) {
 		t.Fatalf("output = %q, want exactly one END (no speculative prints)", st.Output)
 	}
 }
+
+// TestStaticHintsReduceElapsedTime: statically synthesized whole-file hints
+// issued at clock zero match manual mode's benefit while charging zero
+// speculation overhead (the application binary is unmodified).
+func TestStaticHintsReduceElapsedTime(t *testing.T) {
+	origCfg, _, _ := testConfigs()
+	fs1, names := buildFS(t, 20, 10000)
+	orig := runMode(t, origCfg, seqReaderSrc(names, false), fs1)
+
+	staticCfg := DefaultConfig(ModeStatic)
+	for _, n := range names {
+		staticCfg.StaticHints = append(staticCfg.StaticHints,
+			StaticHint{Path: n, Off: 0, N: 0x40000000, Conf: 1.0})
+	}
+	fs2, _ := buildFS(t, 20, 10000)
+	st := runMode(t, staticCfg, seqReaderSrc(names, false), fs2)
+
+	if st.ExitCode != orig.ExitCode {
+		t.Fatalf("exit codes differ: orig %d static %d", orig.ExitCode, st.ExitCode)
+	}
+	if st.Elapsed >= orig.Elapsed {
+		t.Fatalf("static (%d) not faster than original (%d)", st.Elapsed, orig.Elapsed)
+	}
+	if st.Buckets.SpecOverhead != 0 {
+		t.Fatalf("SpecOverhead = %d, want 0: static hints add no code to the app", st.Buckets.SpecOverhead)
+	}
+	if st.HintedReads == 0 {
+		t.Fatal("no hinted reads in static mode")
+	}
+	if st.Tip.HintCalls != int64(len(names)) {
+		t.Fatalf("HintCalls = %d, want %d", st.Tip.HintCalls, len(names))
+	}
+	if st.Tip.BypassedSegs != 0 || st.Tip.InaccurateCalls() != 0 {
+		t.Fatalf("static hints were inaccurate: bypassed=%d inaccurate=%d",
+			st.Tip.BypassedSegs, st.Tip.InaccurateCalls())
+	}
+}
+
+// TestStaticModeValidation: StaticHints outside ModeStatic is a config
+// error, as is ModeStatic with a transformed binary.
+func TestStaticModeValidation(t *testing.T) {
+	cfg := DefaultConfig(ModeNoHint)
+	cfg.StaticHints = []StaticHint{{Path: "x", Off: 0, N: 1}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("StaticHints accepted in original mode")
+	}
+
+	fs, names := buildFS(t, 2, 1000)
+	prog := asm.MustAssemble(seqReaderSrc(names, false))
+	tp, _, err := spechint.Transform(prog, spechint.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(DefaultConfig(ModeStatic), tp, fs); err == nil {
+		t.Error("ModeStatic accepted a transformed program")
+	}
+}
+
+// TestStaticHintsSkipMissingFiles: hints naming files the run does not have
+// are dropped rather than crashing or poisoning the queue.
+func TestStaticHintsSkipMissingFiles(t *testing.T) {
+	fs, names := buildFS(t, 4, 1000)
+	cfg := DefaultConfig(ModeStatic)
+	cfg.StaticHints = []StaticHint{{Path: "no/such/file", Off: 0, N: 4096, Conf: 1}}
+	for _, n := range names {
+		cfg.StaticHints = append(cfg.StaticHints,
+			StaticHint{Path: n, Off: 0, N: 0x40000000, Conf: 1})
+	}
+	st := runMode(t, cfg, seqReaderSrc(names, false), fs)
+	if st.Tip.HintCalls != int64(len(names)) {
+		t.Fatalf("HintCalls = %d, want %d (missing file skipped)", st.Tip.HintCalls, len(names))
+	}
+	if st.Tip.BypassedSegs != 0 {
+		t.Fatalf("BypassedSegs = %d, want 0", st.Tip.BypassedSegs)
+	}
+}

@@ -201,7 +201,7 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 			s.restartPending = true
 			s.trace(EvOffTrack, "at %s off=%d (log %d/%d)", file.Name, off, s.logNext, len(s.hintLog))
 		}
-	} else if s.cfg.Mode == ModeManual {
+	} else if s.cfg.Mode == ModeManual || s.cfg.Mode == ModeStatic {
 		hinted = n > 0 && s.tipc.Covered(file, off, reqLen)
 	}
 	if hinted {

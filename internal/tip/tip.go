@@ -234,6 +234,14 @@ type segment struct {
 	consumed   int64   // high-water mark of consumed bytes from off
 	cancelled  bool
 	complete   bool
+
+	// conf is the static confidence behind this hint, in (0, 1]; zero means
+	// "no static evidence" (dynamically discovered hints) and leaves the
+	// depth bound untouched. Statically synthesized hints carry their
+	// analysis confidence here, and the pump scales this segment's prefetch
+	// depth by it: proved sites earn the full horizon, speculative ones a
+	// shallow bound.
+	conf float64
 }
 
 // dataEnd returns the end of the segment clamped to the file.
@@ -317,8 +325,21 @@ type Client struct {
 	accGood float64
 	accBad  float64
 
+	// Static accuracy prior (SetPrior): blended into the windowed estimate
+	// with priorWt pseudo-observations, so a statically analyzed hint stream
+	// starts at its proved confidence instead of an optimistic 1.0 and early
+	// dynamic evidence cannot whipsaw the horizon. priorWt == 0 (the
+	// default) disables blending entirely.
+	prior   float64
+	priorWt float64
+
 	stats Stats
 }
+
+// priorWeight is how many pseudo-observations a static prior contributes to
+// the windowed accuracy estimate (an eighth of the window: strong enough to
+// anchor the start, weak enough for real evidence to dominate).
+const priorWeight = accWindow / 8
 
 // accWindow is the sliding-window size for the accuracy estimate.
 const accWindow = 256
@@ -562,6 +583,12 @@ func blockRange(f *fsim.File, off, n int64, blockSize int64) (first, last int64,
 // Client.HintSeg.
 func (m *Manager) HintSeg(f *fsim.File, off, n int64) { m.def().HintSeg(f, off, n) }
 
+// HintSegConf discloses a future read with a static confidence through the
+// default client; see Client.HintSegConf.
+func (m *Manager) HintSegConf(f *fsim.File, off, n int64, conf float64) {
+	m.def().HintSegConf(f, off, n, conf)
+}
+
 // HintBatch discloses several future reads through the default client.
 func (m *Manager) HintBatch(segs []Seg) { m.def().HintBatch(segs) }
 
@@ -582,10 +609,28 @@ func (m *Manager) Read(f *fsim.File, off, n int64, hinted bool, done func(err er
 // HintSeg discloses a future read of [off, off+n) in f (TIPIO_SEG /
 // TIPIO_FD_SEG; the two differ only in how the caller named the file).
 func (c *Client) HintSeg(f *fsim.File, off, n int64) {
+	c.hintSeg(f, off, n, 0)
+}
+
+// HintSegConf is HintSeg carrying a static confidence in (0, 1]: the hint
+// comes from the static synthesizer rather than from observed execution, and
+// conf bounds how deep the pump will prefetch for this segment (a fraction
+// of the horizon, floored at MinHorizon). conf <= 0 degenerates to HintSeg.
+func (c *Client) HintSegConf(f *fsim.File, off, n int64, conf float64) {
+	if conf > 1 {
+		conf = 1
+	}
+	if conf < 0 {
+		conf = 0
+	}
+	c.hintSeg(f, off, n, conf)
+}
+
+func (c *Client) hintSeg(f *fsim.File, off, n int64, conf float64) {
 	c.stats.HintCalls++
 	m := c.m
 	bs := int64(m.fs.BlockSize())
-	seg := &segment{file: f, off: off, n: n}
+	seg := &segment{file: f, off: off, n: n, conf: conf}
 	if first, last, ok := blockRange(f, off, n, bs); ok {
 		seg.firstBlock = first
 		for b := first; b <= last; b++ {
@@ -661,9 +706,30 @@ func (c *Client) CancelAll() {
 // speculation throttle consults it.
 func (c *Client) Accuracy() float64 { return c.accuracy() }
 
+// SetPrior installs a static accuracy prior for this client's hint stream
+// (clamped to [0, 1]): the confidence the static hint synthesizer assigned
+// to its disclosures. It acts as priorWeight pseudo-observations in the
+// windowed accuracy estimate. Clients without a prior behave exactly as
+// before (optimistic 1.0 until dynamic evidence arrives).
+func (c *Client) SetPrior(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	c.prior = p
+	c.priorWt = priorWeight
+	c.m.recomputePartitions()
+}
+
 // accuracy estimates the fraction of recent hints that proved correct. TIP
 // uses this to discount the benefit of prefetching in response to hints.
+// A static prior, when set, contributes priorWt pseudo-observations.
 func (c *Client) accuracy() float64 {
+	if c.priorWt > 0 {
+		return (c.accGood + c.prior*c.priorWt) / (c.accGood + c.accBad + c.priorWt)
+	}
 	if c.accGood+c.accBad == 0 {
 		return 1.0
 	}
@@ -707,12 +773,30 @@ func (c *Client) pump() {
 		if seg.cancelled || seg.complete {
 			continue
 		}
+		// A statically synthesized hint prefetches only within its
+		// confidence-scaled share of the horizon: proved segments (conf 1)
+		// run to the full depth, speculative ones stop shallow. Blocks past
+		// the bound still advance dist, so later segments see their true
+		// queue distance. conf == 0 (dynamic hints) leaves lim == horizon.
+		lim := int64(horizon)
+		if seg.conf > 0 {
+			l := int64(seg.conf * float64(horizon))
+			if floor := int64(m.cfg.MinHorizon); l < floor {
+				l = floor
+			}
+			if l < lim {
+				lim = l
+			}
+		}
 		for _, lb := range seg.blocks[seg.consumedBlocks(bs):] {
 			if dist >= horizon {
 				return
 			}
 			d := int64(dist)
 			dist++
+			if d >= lim {
+				continue
+			}
 			if m.demoted[lb] {
 				// Repeatedly failing block: left to the demand read, so the
 				// rest of the hinted sequence keeps prefetching.
@@ -935,10 +1019,15 @@ func (c *Client) Covered(f *fsim.File, off, n int64) bool {
 // Segments skipped over on the way to the covering segment predicted reads
 // that did not occur (in that order) and are bypassed — this is how erroneous
 // speculation shows up in Table 4.
-func (c *Client) consume(f *fsim.File, off, n int64) {
+// The staticTail return reports that the covering segment was a static
+// (conf-tagged) hint whose data this read fully exhausted: the hint stream
+// discloses nothing further in the file here, so sequential readahead is not
+// redundant with it. Always false for dynamic (conf 0) hints, preserving
+// their behavior exactly.
+func (c *Client) consume(f *fsim.File, off, n int64) (staticTail bool) {
 	i := c.findCover(f, off, n)
 	if i < 0 {
-		return
+		return false
 	}
 	bypassed := 0
 	for j := c.head; j < i; j++ {
@@ -963,6 +1052,7 @@ func (c *Client) consume(f *fsim.File, off, n int64) {
 		seg.consumed = hw
 	}
 	c.accObserve(true, 1)
+	staticTail = seg.conf > 0 && covEnd >= seg.dataEnd()
 	if seg.off+seg.consumed >= seg.dataEnd() {
 		seg.complete = true
 		c.stats.MatchedCalls++
@@ -976,6 +1066,7 @@ func (c *Client) consume(f *fsim.File, off, n int64) {
 		}
 		c.compact()
 	}
+	return staticTail
 }
 
 // compact reclaims consumed queue prefix space.
@@ -1015,10 +1106,11 @@ func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func(err err
 	}
 	c.stats.ReadBlocks += nBlocks
 	c.stats.ReadBytes += end - off
+	staticTail := false
 	if hinted && !m.cfg.IgnoreHints {
 		c.stats.HintedReadBlocks += nBlocks
 		c.stats.HintedReadBytes += end - off
-		c.consume(f, off, n)
+		staticTail = c.consume(f, off, n)
 	}
 
 	remaining := 0
@@ -1109,7 +1201,7 @@ func (c *Client) Read(f *fsim.File, off, n int64, hinted bool, done func(err err
 		}
 	}
 
-	if !hinted || m.cfg.IgnoreHints {
+	if !hinted || m.cfg.IgnoreHints || staticTail {
 		c.readahead(f, off, end, first, last)
 	}
 

@@ -568,3 +568,72 @@ func TestHintBatch(t *testing.T) {
 		t.Fatalf("MatchedCalls = %d", got)
 	}
 }
+
+// TestSetPriorBlendsAccuracy: a static prior anchors the accuracy estimate
+// before any dynamic evidence, and real observations pull it toward the
+// observed rate.
+func TestSetPriorBlendsAccuracy(t *testing.T) {
+	r := newRig(t, smallTIP(), smallDisk())
+	c := r.m.def()
+	if got := c.Accuracy(); got != 1.0 {
+		t.Fatalf("accuracy before prior = %v, want optimistic 1.0", got)
+	}
+	c.SetPrior(0.5)
+	if got := c.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy with prior 0.5 and no evidence = %v, want 0.5", got)
+	}
+	c.accObserve(true, 16)
+	got := c.Accuracy()
+	if got <= 0.5 || got >= 1.0 {
+		t.Fatalf("accuracy after good evidence = %v, want pulled above the 0.5 prior but below 1", got)
+	}
+	c.SetPrior(7) // clamps
+	if c.prior != 1 {
+		t.Fatalf("prior not clamped: %v", c.prior)
+	}
+	c.SetPrior(-3)
+	if c.prior != 0 {
+		t.Fatalf("prior not clamped to 0: %v", c.prior)
+	}
+}
+
+// TestHintSegConfBoundsDepth: a confidence-tagged segment prefetches only its
+// confidence-scaled share of the horizon, floored at MinHorizon; conf 0 and
+// conf 1 behave exactly like plain HintSeg.
+func TestHintSegConfBoundsDepth(t *testing.T) {
+	cases := []struct {
+		conf float64
+		want int64 // horizon 8, MinHorizon 2
+	}{
+		{0, 8},
+		{1, 8},
+		{0.5, 4},
+		{0.1, 2}, // floored at MinHorizon
+	}
+	for _, tc := range cases {
+		r := newRig(t, smallTIP(), smallDisk())
+		f := r.fs.MustCreate("f", make([]byte, 20*1024))
+		r.m.HintSegConf(f, 0, 20*1024, tc.conf)
+		r.clk.Drain()
+		if got := r.m.Stats().HintPrefetches; got != tc.want {
+			t.Errorf("conf %v: HintPrefetches = %d, want %d", tc.conf, got, tc.want)
+		}
+	}
+}
+
+// TestHintSegConfConsumptionAdvances: consuming a low-confidence segment
+// still advances its prefetch window (the bound is a depth, not a cap on
+// total prefetching).
+func TestHintSegConfConsumptionAdvances(t *testing.T) {
+	r := newRig(t, smallTIP(), smallDisk())
+	f := r.fs.MustCreate("f", make([]byte, 20*1024))
+	r.m.HintSegConf(f, 0, 20*1024, 0.5)
+	r.clk.Drain()
+	before := r.m.Stats().HintPrefetches
+	r.readSync(t, f, 0, 4*1024, true)
+	r.clk.Drain()
+	after := r.m.Stats().HintPrefetches
+	if after <= before {
+		t.Fatalf("consumption did not advance a conf-bounded segment: %d -> %d", before, after)
+	}
+}
