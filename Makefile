@@ -49,7 +49,11 @@ fuzz:
 smoke-faults:
 	$(GO) run ./cmd/tipbench -exp faults -scale test -json BENCH_faults_test.json
 
-ci: lint fmt build race speclint synth smoke-faults fuzz
+# smoke-cluster runs the sharded-service sweep at test scale.
+smoke-cluster:
+	$(GO) run ./cmd/tipbench -cluster -cluster-shards 1,2 -scale test -json BENCH_cluster_test.json
+
+ci: lint fmt build race speclint synth smoke-faults smoke-cluster fuzz
 
 # bench regenerates the canonical full-scale multiprogramming sweep into the
 # committed baseline under bench/results/ (expect minutes). Scratch runs that

@@ -45,6 +45,10 @@ func main() {
 		traceApp = flag.String("trace-app", "gnuld", "application for the solo -trace-json run: agrep, gnuld, xds, postgres")
 		parallel = flag.Int("parallel", runtime.NumCPU(),
 			"simulation cells run concurrently (1 = serial; output is byte-identical at any width)")
+		clusterFlag = flag.Bool("cluster", false,
+			"run the sharded-service sweep and print its JSON to stdout (or to -json's file)")
+		clusterShards = flag.String("cluster-shards", "",
+			"comma-separated shard counts for -cluster (default 1,2,4,8,16)")
 		checkFlag = flag.String("check", "",
 			"run a fresh multi sweep and fail if it regresses from this baseline JSON")
 		checkTol = flag.Float64("check-tol", 10, "makespan drift tolerance for -check, in percent")
@@ -84,6 +88,37 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tipbench: unknown scale %q\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *clusterFlag {
+		shards := bench.ClusterShards
+		if *clusterShards != "" {
+			shards = shards[:0:0]
+			for _, f := range strings.Split(*clusterShards, ",") {
+				var n int
+				if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "tipbench: bad -cluster-shards entry %q\n", f)
+					os.Exit(2)
+				}
+				shards = append(shards, n)
+			}
+		}
+		out, err := bench.ClusterJSON(scale, shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *jsonFlag != "" {
+			if err := os.WriteFile(*jsonFlag, out, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonFlag)
+			return
+		}
+		os.Stdout.Write(out)
+		return
 	}
 
 	if *checkFlag != "" {

@@ -67,6 +67,10 @@ func TestAllExperimentsRunAtTestScale(t *testing.T) {
 				if !strings.Contains(out, "original") && !strings.Contains(out, "speculating") {
 					t.Errorf("%s output missing expected rows:\n%s", name, out)
 				}
+			case "cluster": // synthetic population, no paper apps
+				if !strings.Contains(out, "moderate") || !strings.Contains(out, "heavy") {
+					t.Errorf("%s output missing load rows:\n%s", name, out)
+				}
 			default:
 				if !strings.Contains(out, "Agrep") {
 					t.Errorf("output missing Agrep:\n%s", out)

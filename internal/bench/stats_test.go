@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentileNearestRank pins the nearest-rank definition on small,
+// hand-checkable samples.
+func TestPercentileNearestRank(t *testing.T) {
+	xs := []int64{50, 10, 40, 20, 30} // unsorted on purpose
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0, 10}, {0.2, 10}, {0.21, 20}, {0.5, 30}, {0.8, 40}, {0.81, 50}, {0.99, 50}, {1, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(p=%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if xs[0] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %d, want 0", got)
+	}
+	if got := Percentile([]int64{7}, 0.999); got != 7 {
+		t.Errorf("single-sample p999 = %d, want 7", got)
+	}
+}
+
+// TestPercentileLargeSample: on 0..9999 the quantiles land where they should.
+func TestPercentileLargeSample(t *testing.T) {
+	xs := make([]int64, 10_000)
+	for i := range xs {
+		xs[i] = int64(i)
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, c := range []struct {
+		p    float64
+		want int64
+	}{{0.5, 4999}, {0.99, 9899}, {0.999, 9989}} {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(p=%g) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestSummarize checks the one-pass summary against the individual helpers.
+func TestSummarize(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 7}
+	s := Summarize(xs)
+	if s.N != 5 || s.Mean != 5 || s.Max != 9 {
+		t.Errorf("Summarize = %+v, want N=5 Mean=5 Max=9", s)
+	}
+	if s.P50 != Percentile(xs, 0.5) || s.P99 != Percentile(xs, 0.99) || s.P999 != Percentile(xs, 0.999) {
+		t.Errorf("Summarize quantiles %+v disagree with Percentile", s)
+	}
+	if z := Summarize(nil); z != (LatencySummary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero", z)
+	}
+}

@@ -1,0 +1,400 @@
+package cluster
+
+// This file is the cluster harness and the client-side engine: New wires the
+// ring, the shards and the population onto one shared virtual clock; Run
+// drives the event loop until every session has completed and freezes the
+// per-shard accounting at the end time. Each client is a small state
+// machine — sessions arrive by the population's Poisson schedule, queue FIFO
+// behind the client's running session, disclose their reads per shard, then
+// issue each read as per-shard parts with think time between ops.
+
+import (
+	"fmt"
+
+	"spechint/internal/cache"
+	"spechint/internal/clients"
+	"spechint/internal/core"
+	"spechint/internal/disk"
+	"spechint/internal/obs"
+	"spechint/internal/sim"
+	"spechint/internal/tip"
+)
+
+// Config shapes a cluster. All times are virtual CPU cycles on the shared
+// clock (233 MHz testbed scale).
+type Config struct {
+	Shards int // server nodes
+	VNodes int // ring points per shard
+
+	// GroupBlocks is the placement-group size in blocks: runs of GroupBlocks
+	// consecutive file blocks share an owner, trading per-block placement
+	// freedom for sequential locality within a shard's disk array.
+	GroupBlocks int64
+
+	// Clients is the population shape the shards build their corpus replicas
+	// from. New overwrites it with the population's own config, so callers
+	// never need to keep the two in sync by hand.
+	Clients clients.Config
+
+	Disk disk.Config // per-shard array
+	TIP  tip.Config  // per-shard manager (cache partition included)
+
+	// NetCycles is the one-way client<->shard network latency; every request
+	// and every reply pays it once.
+	NetCycles int64
+
+	// Hint ingestion batching: queued segments apply after HintBatchCycles,
+	// or immediately once HintBatchMax are queued (0 disables the size cap).
+	HintBatchCycles int64
+	HintBatchMax    int
+
+	// Hints disables disclosure entirely when false: every read is unhinted,
+	// the baseline the hinted runs are measured against.
+	Hints bool
+
+	// MaxCycles aborts a runaway run (0 = no bound).
+	MaxCycles int64
+
+	// Obs, when non-nil, receives every shard's lanes and gauges under
+	// "sN:"-prefixed views of this one trace.
+	Obs *obs.Trace
+}
+
+// DefaultConfig returns a cluster of `shards` nodes at testbed scale: two
+// HP-C2247 disks and a 4 MB TIP cache per shard, 64 ring vnodes, 64 KB
+// placement groups (one stripe unit), ~100 us one-way network, ~2 ms hint
+// batch window.
+func DefaultConfig(shards int) Config {
+	tcfg := tip.DefaultConfig()
+	tcfg.CacheBlocks = 4 << 20 / 8192
+	return Config{
+		Shards:          shards,
+		VNodes:          64,
+		GroupBlocks:     8,
+		Disk:            core.TestbedDisk(2),
+		TIP:             tcfg,
+		NetCycles:       23_300,  // ~100 us at 233 MHz
+		HintBatchCycles: 466_000, // ~2 ms
+		HintBatchMax:    64,
+		Hints:           true,
+		MaxCycles:       1 << 42,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (c Config) Validate() error {
+	switch {
+	case c.Shards < 1:
+		return fmt.Errorf("cluster: Shards = %d, want >= 1", c.Shards)
+	case c.VNodes < 1:
+		return fmt.Errorf("cluster: VNodes = %d, want >= 1", c.VNodes)
+	case c.GroupBlocks < 1:
+		return fmt.Errorf("cluster: GroupBlocks = %d, want >= 1", c.GroupBlocks)
+	case c.NetCycles < 0 || c.HintBatchCycles < 0 || c.HintBatchMax < 0:
+		return fmt.Errorf("cluster: negative NetCycles, HintBatchCycles or HintBatchMax")
+	}
+	if err := c.Disk.Validate(); err != nil {
+		return err
+	}
+	if err := c.TIP.Validate(); err != nil {
+		return err
+	}
+	if int64(c.Disk.BlockSize) != c.Clients.BlockSize {
+		return fmt.Errorf("cluster: disk block size %d != population block size %d",
+			c.Disk.BlockSize, c.Clients.BlockSize)
+	}
+	return nil
+}
+
+// Cluster is one wired simulation instance. Build with New, drive with Run.
+type Cluster struct {
+	cfg      Config
+	clk      *sim.Queue
+	ring     *Ring
+	shards   []*shard
+	cls      []*clientRun
+	fileSize int64
+
+	remaining int // sessions not yet finished
+	doneAt    sim.Time
+}
+
+// New wires a cluster for the given population. The population's config
+// becomes cfg.Clients, so the corpus replicas match the generated schedules
+// by construction.
+func New(cfg Config, pop *clients.Population) (*Cluster, error) {
+	cfg.Clients = pop.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		clk:      sim.NewQueue(),
+		ring:     ring,
+		fileSize: cfg.Clients.FileBlocks * cfg.Clients.BlockSize,
+	}
+	// One zero-filled buffer backs every file of every shard's corpus replica
+	// (fsim files reference their data, they do not copy it).
+	corpus := make([]byte, c.fileSize)
+	for i := 0; i < cfg.Shards; i++ {
+		s, err := newShard(i, c.clk, &c.cfg, corpus)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, s)
+	}
+	for i, cl := range pop.Clients {
+		c.cls = append(c.cls, &clientRun{c: c, id: i, sessions: cl.Sessions})
+		c.remaining += len(cl.Sessions)
+	}
+	return c, nil
+}
+
+// Run drives the event loop until every session has completed, then freezes
+// the shards at the end time. It may be called once.
+func (c *Cluster) Run() (*Result, error) {
+	for _, cr := range c.cls {
+		for si := range cr.sessions {
+			si, cr := si, cr
+			c.clk.Schedule(sim.Time(cr.sessions[si].At), func() { cr.arrive(si) })
+		}
+	}
+	for c.remaining > 0 {
+		if !c.clk.RunNext() {
+			return nil, fmt.Errorf("cluster: event queue drained with %d sessions unfinished", c.remaining)
+		}
+		if c.cfg.MaxCycles > 0 && int64(c.clk.Now()) > c.cfg.MaxCycles {
+			return nil, fmt.Errorf("cluster: exceeded MaxCycles = %d", c.cfg.MaxCycles)
+		}
+		c.cfg.Obs.Tick(c.clk.Now())
+	}
+	c.doneAt = c.clk.Now()
+	for _, s := range c.shards {
+		s.freeze(c.doneAt)
+		s.tm.FinishRun()
+	}
+	return c.result(), nil
+}
+
+// ---------------------------------------------------------------- clients --
+
+// clientRun is the live state machine of one population client.
+type clientRun struct {
+	c        *Cluster
+	id       int
+	sessions []clients.Session
+
+	pending []int // arrived, not yet started (FIFO open queue)
+	running bool
+	cur     int   // session index in flight
+	op      int   // next read op
+	touched []int // shards this session has messaged (close targets)
+
+	issueAt   sim.Time
+	partsLeft int
+	curThink  int64
+
+	lats  []int64 // per-read latency, cycles, completion order
+	reads int64
+}
+
+// arrive queues session si; if the client is idle it starts immediately.
+func (cr *clientRun) arrive(si int) {
+	cr.pending = append(cr.pending, si)
+	if !cr.running {
+		cr.start()
+	}
+}
+
+// touch records a shard as messaged by the current session (dedup'd).
+func (cr *clientRun) touch(sh int) {
+	for _, t := range cr.touched {
+		if t == sh {
+			return
+		}
+	}
+	cr.touched = append(cr.touched, sh)
+}
+
+// start opens the next pending session: disclose the whole session's read
+// span per shard (one Hint message each), then issue the first read.
+func (cr *clientRun) start() {
+	cr.cur = cr.pending[0]
+	cr.pending = cr.pending[1:]
+	cr.running = true
+	cr.op = 0
+	cr.touched = nil
+
+	c := cr.c
+	sess := cr.sessions[cr.cur]
+	key := SessionKey{Client: cr.id, Session: cr.cur}
+	if c.cfg.Hints && len(sess.Reads) > 0 {
+		lastOp := sess.Reads[len(sess.Reads)-1]
+		span := lastOp.Off + lastOp.N
+		parts := splitRange(c.ring, c.cfg.GroupBlocks, c.cfg.Clients.BlockSize, sess.File, 0, span, c.fileSize)
+		var order []int
+		byShard := make(map[int][]HintSeg)
+		for _, p := range parts {
+			if _, ok := byShard[p.Shard]; !ok {
+				order = append(order, p.Shard)
+			}
+			byShard[p.Shard] = append(byShard[p.Shard], HintSeg{File: sess.File, Off: p.Off, N: p.N})
+		}
+		for _, shid := range order {
+			segs := byShard[shid]
+			cr.touch(shid)
+			target := c.shards[shid]
+			c.clk.After(sim.Time(c.cfg.NetCycles), func() { target.serveHints(key, segs) })
+		}
+	}
+	cr.issueOp()
+}
+
+// issueOp sends the current read op as per-shard parts, or finishes the
+// session when the ops are exhausted.
+func (cr *clientRun) issueOp() {
+	c := cr.c
+	sess := cr.sessions[cr.cur]
+	if cr.op >= len(sess.Reads) {
+		cr.finish()
+		return
+	}
+	r := sess.Reads[cr.op]
+	key := SessionKey{Client: cr.id, Session: cr.cur}
+	parts := splitRange(c.ring, c.cfg.GroupBlocks, c.cfg.Clients.BlockSize, sess.File, r.Off, r.N, c.fileSize)
+	if len(parts) == 0 { // degenerate op (outside the file): skip it
+		cr.op++
+		cr.issueOp()
+		return
+	}
+	cr.partsLeft = len(parts)
+	cr.issueAt = c.clk.Now()
+	cr.curThink = r.Think
+	for _, p := range parts {
+		p := p
+		cr.touch(p.Shard)
+		target := c.shards[p.Shard]
+		c.clk.After(sim.Time(c.cfg.NetCycles), func() {
+			target.serveRead(key, sess.File, p.Off, p.N, func() {
+				c.clk.After(sim.Time(c.cfg.NetCycles), cr.partDone)
+			})
+		})
+	}
+}
+
+// partDone collects one part reply; when the op's last part lands the read's
+// latency is recorded and the next op is scheduled after the think time.
+func (cr *clientRun) partDone() {
+	cr.partsLeft--
+	if cr.partsLeft > 0 {
+		return
+	}
+	c := cr.c
+	cr.lats = append(cr.lats, int64(c.clk.Now()-cr.issueAt))
+	cr.reads++
+	cr.op++
+	c.clk.After(sim.Time(cr.curThink), cr.issueOp)
+}
+
+// finish closes the session on every shard it touched and starts the next
+// queued session, if any.
+func (cr *clientRun) finish() {
+	c := cr.c
+	key := SessionKey{Client: cr.id, Session: cr.cur}
+	for _, shid := range cr.touched {
+		target := c.shards[shid]
+		c.clk.After(sim.Time(c.cfg.NetCycles), func() { target.closeSession(key) })
+	}
+	cr.running = false
+	c.remaining--
+	if len(cr.pending) > 0 {
+		cr.start()
+	}
+}
+
+// ---------------------------------------------------------------- results --
+
+// ClientResult summarizes one client's view of the run.
+type ClientResult struct {
+	ID       int
+	Sessions int
+	Reads    int64
+	MeanLat  float64 // mean read latency, cycles
+	MaxLat   int64
+}
+
+// ShardResult is one shard's complete accounting: protocol counters, the
+// exhaustive stall buckets, and the TIP/cache/disk layer stats beneath.
+type ShardResult struct {
+	ID      int
+	Buckets Buckets
+	Stats   ShardStats
+	Tip     tip.Stats
+	Cache   cache.Stats
+	Disk    disk.Stats
+}
+
+// Result is the outcome of one cluster run.
+type Result struct {
+	Elapsed sim.Time
+	Reads   int64
+	Blocks  int64
+
+	// Latencies holds every read's latency in cycles, client-id order then
+	// completion order within a client — a deterministic ordering suitable
+	// for percentile extraction.
+	Latencies []int64
+
+	Clients []ClientResult
+	Shards  []ShardResult
+}
+
+// Seconds converts the run's elapsed virtual time to testbed seconds.
+func (r *Result) Seconds() float64 { return float64(r.Elapsed) / core.CPUHz }
+
+// Throughput returns completed reads per testbed second.
+func (r *Result) Throughput() float64 {
+	if s := r.Seconds(); s > 0 {
+		return float64(r.Reads) / s
+	}
+	return 0
+}
+
+func (c *Cluster) result() *Result {
+	res := &Result{Elapsed: c.doneAt}
+	for _, cr := range c.cls {
+		sum := int64(0)
+		mx := int64(0)
+		for _, l := range cr.lats {
+			sum += l
+			if l > mx {
+				mx = l
+			}
+		}
+		mean := 0.0
+		if len(cr.lats) > 0 {
+			mean = float64(sum) / float64(len(cr.lats))
+		}
+		res.Clients = append(res.Clients, ClientResult{
+			ID: cr.id, Sessions: len(cr.sessions), Reads: cr.reads, MeanLat: mean, MaxLat: mx,
+		})
+		res.Reads += cr.reads
+		res.Latencies = append(res.Latencies, cr.lats...)
+	}
+	for _, s := range c.shards {
+		res.Blocks += s.tm.Stats().ReadBlocks
+		res.Shards = append(res.Shards, ShardResult{
+			ID:      s.id,
+			Buckets: s.buckets,
+			Stats:   s.stats,
+			Tip:     s.tm.Stats(),
+			Cache:   s.tm.Cache().Stats(),
+			Disk:    s.arr.Stats(),
+		})
+	}
+	return res
+}

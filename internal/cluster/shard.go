@@ -1,0 +1,284 @@
+package cluster
+
+// This file is the server side of the message boundary: one Shard is a
+// self-contained TIP node — its own disk array, cache partition and TIP
+// manager on the cluster's shared virtual clock — that speaks only the
+// proto.go request types. Hints do not apply immediately: they queue in a
+// batched, coalescing ingestion queue and flush either when the batch window
+// expires or when the queue hits its size cap, modelling the server-side
+// amortization a real RPC hint path needs. Every cycle of a shard's life is
+// charged to exactly one stall bucket, so the per-shard buckets sum to the
+// run's elapsed time by construction.
+
+import (
+	"fmt"
+
+	"spechint/internal/disk"
+	"spechint/internal/fsim"
+	"spechint/internal/obs"
+	"spechint/internal/sim"
+	"spechint/internal/tip"
+)
+
+// Buckets is a shard's exhaustive time accounting: every cycle between the
+// cluster's start and its freeze point lands in exactly one bucket.
+//   - HintedService: >= 1 read part outstanding and all of them arrived with
+//     hint coverage.
+//   - UnhintedService: >= 1 read part outstanding, at least one uncovered.
+//   - Idle: no read part outstanding.
+type Buckets struct {
+	HintedService   int64 `json:"hinted_cycles"`
+	UnhintedService int64 `json:"unhinted_cycles"`
+	Idle            int64 `json:"idle_cycles"`
+}
+
+// Total returns the sum of all buckets — by construction the cluster's
+// elapsed cycles once the shard is frozen.
+func (b Buckets) Total() int64 { return b.HintedService + b.UnhintedService + b.Idle }
+
+// ShardStats counts a shard's protocol-level activity (the TIP, cache and
+// disk layers below keep their own counters).
+type ShardStats struct {
+	ReadParts    int64 // read requests served
+	HintedParts  int64 // subset that arrived with hint coverage
+	ReadErrors   int64 // read parts that resolved with an error
+	HintMsgs     int64 // hint messages received
+	HintSegsIn   int64 // segments across all hint messages
+	AppliedSegs  int64 // segments applied to TIP after coalescing
+	StaleSegs    int64 // segments whose session closed before the flush
+	Batches      int64 // ingestion queue flushes
+	SessionsOpen int64 // sessions ever opened
+	PeakSessions int   // max concurrently open sessions
+	PeakIngest   int   // max ingestion queue depth
+}
+
+// pendingHint is one queued, not-yet-applied hint segment.
+type pendingHint struct {
+	key SessionKey
+	seg HintSeg
+}
+
+// shard is one server node.
+type shard struct {
+	id  int
+	clk *sim.Queue
+	cfg *Config
+
+	fs    *fsim.FS
+	arr   *disk.Array
+	tm    *tip.Manager
+	files []*fsim.File // full corpus replica; the ring decides which blocks this shard actually serves
+
+	sess map[SessionKey]*tip.Client
+
+	ingest  []pendingHint
+	flushEv *sim.Event
+
+	// Interval accounting: the bucket charged for [lastAt, now) is decided by
+	// the demand state that held over that interval, updated at every
+	// transition. frozen stops the clock at the cluster's end time.
+	lastAt      sim.Time
+	outstanding int // read parts in service
+	outHinted   int // subset that arrived covered
+	frozen      bool
+
+	buckets Buckets
+	stats   ShardStats
+}
+
+// newShard builds shard id on the cluster's shared clock. Every shard holds a
+// replica of the corpus name space backed by one shared data buffer (fsim
+// files reference, not copy, their data), so per-shard memory stays flat as
+// the corpus grows.
+func newShard(id int, clk *sim.Queue, cfg *Config, corpus []byte) (*shard, error) {
+	arr, err := disk.New(clk, cfg.Disk)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d disk: %w", id, err)
+	}
+	fs := fsim.New(int(cfg.Clients.BlockSize))
+	tm, err := tip.New(clk, arr, fs, cfg.TIP)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d tip: %w", id, err)
+	}
+	s := &shard{
+		id: id, clk: clk, cfg: cfg,
+		fs: fs, arr: arr, tm: tm,
+		files: make([]*fsim.File, cfg.Clients.Files),
+		sess:  make(map[SessionKey]*tip.Client),
+	}
+	for i := range s.files {
+		f, err := fs.Create(fmt.Sprintf("f%04d", i), corpus)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d corpus: %w", id, err)
+		}
+		s.files[i] = f
+	}
+	if cfg.Obs != nil {
+		sub := cfg.Obs.Sub(fmt.Sprintf("s%d:", id))
+		s.installObs(sub)
+	}
+	return s, nil
+}
+
+// installObs wires the shard's layers onto a prefixed view of the cluster
+// trace: TIP/cache/disk lanes become "sN:tip", "sN:cache", "sN:diskK", and
+// the shard contributes queue-depth and session gauges under the same prefix.
+func (s *shard) installObs(sub *obs.Trace) {
+	s.tm.SetObs(sub)
+	s.arr.SetObs(sub)
+	sub.AddGauge("ingest_queue_depth", func() float64 { return float64(len(s.ingest)) })
+	sub.AddGauge("active_sessions", func() float64 { return float64(len(s.sess)) })
+	for i := 0; i < s.cfg.Disk.NumDisks; i++ {
+		i := i
+		sub.AddGauge(fmt.Sprintf("disk%d_queue_depth", i), func() float64 {
+			return float64(s.arr.QueueDepth(i))
+		})
+	}
+}
+
+// account charges [lastAt, now) to the bucket matching the interval's demand
+// state. Call it BEFORE every state transition, with the transition time.
+func (s *shard) account(now sim.Time) {
+	if s.frozen {
+		return
+	}
+	delta := int64(now - s.lastAt)
+	s.lastAt = now
+	if delta <= 0 {
+		return
+	}
+	switch {
+	case s.outstanding > 0 && s.outHinted == s.outstanding:
+		s.buckets.HintedService += delta
+	case s.outstanding > 0:
+		s.buckets.UnhintedService += delta
+	default:
+		s.buckets.Idle += delta
+	}
+}
+
+// freeze closes the books at the cluster's end time: the final interval is
+// charged and the buckets stop moving, so their total equals elapsed exactly.
+func (s *shard) freeze(at sim.Time) {
+	s.account(at)
+	s.frozen = true
+}
+
+// session returns the per-session TIP client, opening the hint stream on
+// first touch. Per-session clients are the isolation unit: TIP's bypass
+// accounting assumes one hint stream per consumer, so two sessions sharing a
+// client would penalize each other's disclosures.
+func (s *shard) session(key SessionKey) *tip.Client {
+	cli := s.sess[key]
+	if cli == nil {
+		cli = s.tm.NewClient(fmt.Sprintf("c%d.s%d", key.Client, key.Session))
+		s.sess[key] = cli
+		s.stats.SessionsOpen++
+		if n := len(s.sess); n > s.stats.PeakSessions {
+			s.stats.PeakSessions = n
+		}
+	}
+	return cli
+}
+
+// serveRead services one ReadPart. Whether the part counts as hinted is the
+// shard's decision, made at service time against the session's applied hint
+// queue — a hint message that lost the race with its read (still sitting in
+// the ingestion queue) does not count, exactly as a real server could not
+// credit a disclosure it has not processed.
+func (s *shard) serveRead(key SessionKey, file int, off, n int64, reply func()) {
+	now := s.clk.Now()
+	s.account(now)
+	cli := s.session(key)
+	f := s.files[file]
+	hinted := cli.Covered(f, off, n)
+	s.stats.ReadParts++
+	if hinted {
+		s.stats.HintedParts++
+	}
+	s.outstanding++
+	if hinted {
+		s.outHinted++
+	}
+	done := func(err error) {
+		s.account(s.clk.Now())
+		s.outstanding--
+		if hinted {
+			s.outHinted--
+		}
+		if err != nil {
+			s.stats.ReadErrors++
+		}
+		reply()
+	}
+	if cli.Read(f, off, n, hinted, done) {
+		done(nil) // fully cached: tip never calls done on the immediate path
+	}
+}
+
+// serveHints receives one hint message: the segments enter the ingestion
+// queue and apply at the next flush — after HintBatchCycles, or immediately
+// once the queue reaches HintBatchMax. The session opens now even though the
+// hints apply later, so a racing read lands on the right stream.
+func (s *shard) serveHints(key SessionKey, segs []HintSeg) {
+	s.stats.HintMsgs++
+	s.stats.HintSegsIn += int64(len(segs))
+	s.session(key)
+	for _, sg := range segs {
+		s.ingest = append(s.ingest, pendingHint{key: key, seg: sg})
+	}
+	if n := len(s.ingest); n > s.stats.PeakIngest {
+		s.stats.PeakIngest = n
+	}
+	if s.cfg.HintBatchMax > 0 && len(s.ingest) >= s.cfg.HintBatchMax {
+		s.flush()
+		return
+	}
+	if s.flushEv == nil && len(s.ingest) > 0 {
+		s.flushEv = s.clk.After(sim.Time(s.cfg.HintBatchCycles), func() {
+			s.flushEv = nil
+			s.flush()
+		})
+	}
+}
+
+// flush drains the ingestion queue into TIP, coalescing runs of contiguous
+// segments from one session and file into single disclosures — the batching
+// dividend: B small hint RPCs become one TIPIO_SEG-sized call.
+func (s *shard) flush() {
+	if s.flushEv != nil {
+		s.clk.Cancel(s.flushEv)
+		s.flushEv = nil
+	}
+	if len(s.ingest) == 0 {
+		return
+	}
+	s.stats.Batches++
+	batch := s.ingest
+	s.ingest = nil
+	for i := 0; i < len(batch); {
+		cur := batch[i].seg
+		j := i + 1
+		for j < len(batch) && batch[j].key == batch[i].key &&
+			batch[j].seg.File == cur.File && batch[j].seg.Off == cur.Off+cur.N {
+			cur.N += batch[j].seg.N
+			j++
+		}
+		if cli := s.sess[batch[i].key]; cli != nil {
+			s.stats.AppliedSegs++
+			cli.HintSeg(s.files[cur.File], cur.Off, cur.N)
+		} else {
+			s.stats.StaleSegs++ // session closed before the window expired
+		}
+		i = j
+	}
+}
+
+// closeSession retires the session's hint stream; TIP reuses the client slot
+// (and re-partitions the cache across the survivors).
+func (s *shard) closeSession(key SessionKey) {
+	if cli := s.sess[key]; cli != nil {
+		cli.Close()
+		delete(s.sess, key)
+	}
+}

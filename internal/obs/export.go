@@ -41,6 +41,7 @@ func (t *Trace) ChromeTraceJSON() ([]byte, error) {
 	if t == nil {
 		return nil, fmt.Errorf("obs: ChromeTraceJSON on a nil Trace")
 	}
+	t = t.root() // a Sub view exports its parent's full timeline
 	usec := func(c sim.Time) float64 { return float64(c) / t.cfg.CyclesPerUsec }
 
 	// Lanes get tids in first-seen order, which is deterministic because the
@@ -123,6 +124,7 @@ func (t *Trace) MetricsJSON() ([]byte, error) {
 	if t == nil {
 		return nil, fmt.Errorf("obs: MetricsJSON on a nil Trace")
 	}
+	t = t.root() // a Sub view exports its parent's full series
 	doc := metricsDoc{
 		SampleIntervalCycles: t.cfg.SampleInterval,
 		Names:                t.GaugeNames(),

@@ -84,7 +84,10 @@ type Point struct {
 }
 
 // Trace is the recorder. A nil *Trace is valid everywhere and records
-// nothing; construct with New to enable recording.
+// nothing; construct with New to enable recording. A Trace obtained from
+// Sub is a view onto its parent's buffers that prefixes lane and gauge
+// names, so several instances of one layer (the per-shard TIP managers of a
+// cluster, say) can share a single timeline without colliding lanes.
 type Trace struct {
 	cfg     Config
 	events  []Event
@@ -93,11 +96,34 @@ type Trace struct {
 	gauges   []gauge
 	points   []Point
 	nextTick sim.Time
+
+	parent *Trace // non-nil on Sub views; all storage lives on the parent
+	prefix string
 }
 
 // New returns an empty enabled Trace.
 func New(cfg Config) *Trace {
 	return &Trace{cfg: cfg.withDefaults()}
+}
+
+// root resolves a view to the Trace that owns the buffers.
+func (t *Trace) root() *Trace {
+	if t.parent != nil {
+		return t.parent
+	}
+	return t
+}
+
+// Sub returns a view of t whose events land on lanes (and whose gauges
+// register under names) prefixed with prefix. The view shares the parent's
+// event list, sample series and capacity bounds; Sub of a Sub concatenates
+// prefixes. Sub of a nil Trace is nil, preserving the zero-overhead
+// contract for untraced runs.
+func (t *Trace) Sub(prefix string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{parent: t.root(), prefix: t.prefix + prefix}
 }
 
 // Enabled reports whether events are being recorded. It is the fast path
@@ -124,12 +150,13 @@ func (t *Trace) Span(at, dur sim.Time, lane, cat, name, detail string) {
 	if t == nil {
 		return
 	}
-	t.Tick(at + dur)
-	if len(t.events) >= t.cfg.MaxEvents {
-		t.dropped++
+	r := t.root()
+	r.Tick(at + dur)
+	if len(r.events) >= r.cfg.MaxEvents {
+		r.dropped++
 		return
 	}
-	t.events = append(t.events, Event{At: at, Dur: dur, Lane: lane, Cat: cat, Name: name, Detail: detail})
+	r.events = append(r.events, Event{At: at, Dur: dur, Lane: t.prefix + lane, Cat: cat, Name: name, Detail: detail})
 }
 
 // Events returns the recorded timeline in emission order.
@@ -137,7 +164,7 @@ func (t *Trace) Events() []Event {
 	if t == nil {
 		return nil
 	}
-	return t.events
+	return t.root().events
 }
 
 // Dropped returns the number of events lost to the MaxEvents cap.
@@ -145,7 +172,7 @@ func (t *Trace) Dropped() int64 {
 	if t == nil {
 		return 0
 	}
-	return t.dropped
+	return t.root().dropped
 }
 
 // AddGauge registers a metric source, read on every sampling tick. Gauges
@@ -154,7 +181,8 @@ func (t *Trace) AddGauge(name string, fn func() float64) {
 	if t == nil {
 		return
 	}
-	t.gauges = append(t.gauges, gauge{name, fn})
+	r := t.root()
+	r.gauges = append(r.gauges, gauge{t.prefix + name, fn})
 }
 
 // GaugeNames returns the registered gauge names, in registration order
@@ -163,8 +191,9 @@ func (t *Trace) GaugeNames() []string {
 	if t == nil {
 		return nil
 	}
-	names := make([]string, len(t.gauges))
-	for i, g := range t.gauges {
+	r := t.root()
+	names := make([]string, len(r.gauges))
+	for i, g := range r.gauges {
 		names[i] = g.name
 	}
 	return names
@@ -175,7 +204,7 @@ func (t *Trace) Points() []Point {
 	if t == nil {
 		return nil
 	}
-	return t.points
+	return t.root().points
 }
 
 // Tick samples the gauges if virtual time has passed the next tick boundary.
@@ -183,15 +212,19 @@ func (t *Trace) Points() []Point {
 // Emit calls it implicitly), so the series advances with virtual time without
 // the Trace ever scheduling events of its own.
 func (t *Trace) Tick(now sim.Time) {
-	if t == nil || len(t.gauges) == 0 || now < t.nextTick || len(t.points) >= t.cfg.MaxSamples {
+	if t == nil {
 		return
 	}
-	vals := make([]float64, len(t.gauges))
-	for i, g := range t.gauges {
+	r := t.root()
+	if len(r.gauges) == 0 || now < r.nextTick || len(r.points) >= r.cfg.MaxSamples {
+		return
+	}
+	vals := make([]float64, len(r.gauges))
+	for i, g := range r.gauges {
 		vals[i] = g.fn()
 	}
-	t.points = append(t.points, Point{At: now, Values: vals})
+	r.points = append(r.points, Point{At: now, Values: vals})
 	// Realign to the tick grid so a long quiet period costs one sample, not
 	// a burst of catch-up samples.
-	t.nextTick = (now/t.cfg.SampleInterval + 1) * t.cfg.SampleInterval
+	r.nextTick = (now/r.cfg.SampleInterval + 1) * r.cfg.SampleInterval
 }

@@ -1,0 +1,61 @@
+package obs
+
+import "testing"
+
+// TestSubPrefixesLanes verifies the Sub view contract: events land on the
+// parent's timeline with prefixed lanes, gauges register under prefixed
+// names, and nested Subs concatenate prefixes.
+func TestSubPrefixesLanes(t *testing.T) {
+	tr := New(Config{})
+	s0 := tr.Sub("s0:")
+	s1 := tr.Sub("s1:")
+
+	tr.Emit(10, "tip", "tip", "hint", "root")
+	s0.Emit(20, "tip", "tip", "hint", "shard 0")
+	s1.Emit(30, "disk0", "disk", "demand", "shard 1")
+	s0.Sub("inner:").Emit(40, "q", "x", "y", "nested")
+
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4 on the shared timeline", len(evs))
+	}
+	wantLanes := []string{"tip", "s0:tip", "s1:disk0", "s0:inner:q"}
+	for i, want := range wantLanes {
+		if evs[i].Lane != want {
+			t.Errorf("event %d lane = %q, want %q", i, evs[i].Lane, want)
+		}
+	}
+	// The view reads the same timeline it writes.
+	if got := s0.Events(); len(got) != 4 {
+		t.Errorf("Sub view sees %d events, want 4", len(got))
+	}
+
+	s0.AddGauge("queue_depth", func() float64 { return 7 })
+	tr.AddGauge("root_gauge", func() float64 { return 1 })
+	names := tr.GaugeNames()
+	if len(names) != 2 || names[0] != "s0:queue_depth" || names[1] != "root_gauge" {
+		t.Errorf("gauge names = %v, want [s0:queue_depth root_gauge]", names)
+	}
+	s1.Tick(100_000_000)
+	if pts := tr.Points(); len(pts) != 1 || pts[0].Values[0] != 7 {
+		t.Errorf("points via Sub tick = %v, want one sample reading 7", tr.Points())
+	}
+}
+
+// TestSubNilSafe: a Sub of a nil trace is nil and stays inert everywhere.
+func TestSubNilSafe(t *testing.T) {
+	var tr *Trace
+	s := tr.Sub("s0:")
+	if s != nil {
+		t.Fatal("Sub of nil trace must be nil")
+	}
+	if s.Enabled() {
+		t.Fatal("nil Sub reports Enabled")
+	}
+	s.Emit(1, "a", "b", "c", "d") // must not panic
+	s.AddGauge("g", func() float64 { return 0 })
+	s.Tick(10)
+	if s.Events() != nil || s.Points() != nil || s.Dropped() != 0 {
+		t.Fatal("nil Sub leaked state")
+	}
+}

@@ -286,6 +286,16 @@ type Manager struct {
 	clients []*Client // indexed by client id
 	defc    *Client   // lazy default client behind the Manager-level wrappers
 
+	// Client-slot recycling. A service workload (internal/cluster) opens and
+	// closes a hint stream per client session; without reuse the clients
+	// slice — which every partition recompute walks — would grow with the
+	// total number of sessions ever served instead of the concurrent peak.
+	// free holds closed ids available to NewClient; retired accumulates the
+	// stats of clients whose slot has been handed out again, so Stats stays
+	// a whole-lifetime aggregate.
+	free    []int
+	retired Stats
+
 	// pendingDemand holds demand fetches that could not obtain a buffer
 	// (everything in transit); retried on every completion.
 	pendingDemand []func() bool
@@ -372,8 +382,20 @@ func New(clk *sim.Queue, arr *disk.Array, fs *fsim.FS, cfg Config) (*Manager, er
 }
 
 // NewClient registers a new hint stream with the manager. The name labels
-// the stream in diagnostics; ids are assigned sequentially from zero.
+// the stream in diagnostics; ids are assigned sequentially from zero, except
+// that the slot of a closed client is reused first (its final counters move
+// into the manager's retired aggregate — see Stats). A closed client holds
+// no cache protection (Close released it), so reuse cannot leak ownership.
 func (m *Manager) NewClient(name string) *Client {
+	if n := len(m.free); n > 0 {
+		id := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.retired.add(m.clients[id].stats)
+		c := &Client{m: m, id: id, name: name, ra: make(map[int64]*raState)}
+		m.clients[id] = c
+		m.recomputePartitions()
+		return c
+	}
 	c := &Client{m: m, id: len(m.clients), name: name, ra: make(map[int64]*raState)}
 	m.clients = append(m.clients, c)
 	m.recomputePartitions()
@@ -447,9 +469,11 @@ func (m *Manager) Degraded() bool {
 	return false
 }
 
-// Stats returns the counters summed over every client.
+// Stats returns the counters summed over every client the manager has ever
+// had: live and closed clients still holding their slot, plus the retired
+// aggregate of clients whose slot NewClient handed out again.
 func (m *Manager) Stats() Stats {
-	var sum Stats
+	sum := m.retired
 	for _, c := range m.clients {
 		sum.add(c.stats)
 	}
@@ -484,6 +508,7 @@ func (c *Client) Close() {
 	c.hints = nil
 	c.head = 0
 	c.closed = true
+	c.m.free = append(c.m.free, c.id)
 	c.m.recomputePartitions()
 }
 
