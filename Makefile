@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint speclint synth fuzz smoke-faults ci bench bench-check bench-trace
+.PHONY: all build test race vet fmt lint speclint synth fuzz smoke-faults smoke-cluster smoke-overload ci bench bench-check bench-trace
 
 all: build
 
@@ -53,7 +53,11 @@ smoke-faults:
 smoke-cluster:
 	$(GO) run ./cmd/tipbench -cluster -cluster-shards 1,2 -scale test -json BENCH_cluster_test.json
 
-ci: lint fmt build race speclint synth smoke-faults smoke-cluster fuzz
+# smoke-overload runs the admission-control/failover sweep at test scale.
+smoke-overload:
+	$(GO) run ./cmd/tipbench -overload -scale test -json BENCH_overload_test.json
+
+ci: lint fmt build race speclint synth smoke-faults smoke-cluster smoke-overload fuzz
 
 # bench regenerates the canonical full-scale multiprogramming sweep into the
 # committed baseline under bench/results/ (expect minutes). Scratch runs that

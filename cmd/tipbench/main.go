@@ -49,6 +49,12 @@ func main() {
 			"run the sharded-service sweep and print its JSON to stdout (or to -json's file)")
 		clusterShards = flag.String("cluster-shards", "",
 			"comma-separated shard counts for -cluster (default 1,2,4,8,16)")
+		overloadFlag = flag.Bool("overload", false,
+			"run the overload sweep (admission control, shedding, failover) and print its JSON to stdout (or to -json's file)")
+		shedFlag = flag.String("shed", "both",
+			"admission arms for -overload: both, on, or off (off skips the failover cell)")
+		killShard = flag.Int("kill-shard", 1,
+			"shard the -overload failover cell kills mid-run (negative skips the failover cell)")
 		checkFlag = flag.String("check", "",
 			"run a fresh multi sweep and fail if it regresses from this baseline JSON")
 		checkTol = flag.Float64("check-tol", 10, "makespan drift tolerance for -check, in percent")
@@ -106,6 +112,27 @@ func main() {
 		out, err := bench.ClusterJSON(scale, shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tipbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *jsonFlag != "" {
+			if err := os.WriteFile(*jsonFlag, out, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonFlag)
+			return
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *overloadFlag {
+		bench.OverloadArm = *shedFlag
+		bench.OverloadKillShard = *killShard
+		out, err := bench.OverloadJSON(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: overload: %v\n", err)
 			os.Exit(1)
 		}
 		out = append(out, '\n')

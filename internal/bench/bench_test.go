@@ -71,6 +71,12 @@ func TestAllExperimentsRunAtTestScale(t *testing.T) {
 				if !strings.Contains(out, "moderate") || !strings.Contains(out, "heavy") {
 					t.Errorf("%s output missing load rows:\n%s", name, out)
 				}
+			case "overload": // synthetic population, no paper apps
+				for _, want := range []string{"shed-off", "shed-on", "failover"} {
+					if !strings.Contains(out, want) {
+						t.Errorf("%s output missing %q rows:\n%s", name, want, out)
+					}
+				}
 			default:
 				if !strings.Contains(out, "Agrep") {
 					t.Errorf("output missing Agrep:\n%s", out)

@@ -67,6 +67,7 @@ var Registry = map[string]Experiment{
 	"faults":     {Name: "faults", Desc: "graceful degradation under injected disk faults (robustness extension)", Run: scaleExp(Faults), Heavy: true},
 	"static":     {Name: "static", Desc: "statically synthesized hints vs original and manual (static-analysis extension)", Run: scaleExp(Static)},
 	"cluster":    {Name: "cluster", Desc: "sharded TIP service: throughput, latency tails, fairness vs shard count", Run: scaleExp(Cluster), Heavy: true},
+	"overload":   {Name: "overload", Desc: "overload-safe cluster: admission control, load shedding, shard failover", Run: scaleExp(Overload), Heavy: true},
 }
 
 // Names returns experiment ids in stable order.

@@ -8,12 +8,16 @@ import "sort"
 // (rather than interpolation) keeps the result an actual observed sample, so
 // quantiles of cycle-valued latencies stay integral and byte-stable in JSON.
 func Percentile(xs []int64, p float64) int64 {
-	if len(xs) == 0 {
-		return 0
-	}
+	return percentileSorted(sortCopy(xs), p)
+}
+
+// sortCopy returns a private ascending-sorted copy of xs, the one sort every
+// quantile helper shares: callers needing several quantiles of the same
+// sample sort once here and read them all through percentileSorted.
+func sortCopy(xs []int64) []int64 {
 	sorted := append([]int64(nil), xs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return percentileSorted(sorted, p)
+	return sorted
 }
 
 // percentileSorted is Percentile over an already ascending-sorted slice.
@@ -53,8 +57,7 @@ func Summarize(xs []int64) LatencySummary {
 	if len(xs) == 0 {
 		return LatencySummary{}
 	}
-	sorted := append([]int64(nil), xs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := sortCopy(xs)
 	sum := int64(0)
 	for _, x := range sorted {
 		sum += x

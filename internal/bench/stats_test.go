@@ -48,6 +48,54 @@ func TestPercentileLargeSample(t *testing.T) {
 	}
 }
 
+// TestPercentileEdges pins the awkward corners of nearest-rank: extreme
+// quantiles of samples far smaller than 1/(1-p), and degenerate samples.
+func TestPercentileEdges(t *testing.T) {
+	// p = 0.999 of a tiny sample must be the max, never an out-of-range rank.
+	for n := 1; n <= 5; n++ {
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(10 * (i + 1))
+		}
+		if got, want := Percentile(xs, 0.999), xs[n-1]; got != want {
+			t.Errorf("p999 of %d samples = %d, want max %d", n, got, want)
+		}
+	}
+	// A single element answers every quantile.
+	for _, p := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := Percentile([]int64{42}, p); got != 42 {
+			t.Errorf("single-element p=%g = %d, want 42", p, got)
+		}
+	}
+	// All-equal samples answer every quantile with that value.
+	eq := []int64{7, 7, 7, 7, 7, 7, 7, 7}
+	for _, p := range []float64{0, 0.25, 0.5, 0.99, 0.999, 1} {
+		if got := Percentile(eq, p); got != 7 {
+			t.Errorf("all-equal p=%g = %d, want 7", p, got)
+		}
+	}
+	// Out-of-range p clamps to min/max rather than indexing out of bounds.
+	xs := []int64{1, 2, 3}
+	if got := Percentile(xs, -0.5); got != 1 {
+		t.Errorf("p<0 = %d, want min 1", got)
+	}
+	if got := Percentile(xs, 1.5); got != 3 {
+		t.Errorf("p>1 = %d, want max 3", got)
+	}
+}
+
+// TestSummarizeDegenerate: the one-sort summary agrees on degenerate inputs.
+func TestSummarizeDegenerate(t *testing.T) {
+	one := Summarize([]int64{13})
+	if one.N != 1 || one.Mean != 13 || one.P50 != 13 || one.P99 != 13 || one.P999 != 13 || one.Max != 13 {
+		t.Errorf("Summarize(single) = %+v, want all 13", one)
+	}
+	eq := Summarize([]int64{4, 4, 4})
+	if eq.Mean != 4 || eq.P50 != 4 || eq.P999 != 4 || eq.Max != 4 {
+		t.Errorf("Summarize(all-equal) = %+v, want all 4", eq)
+	}
+}
+
 // TestSummarize checks the one-pass summary against the individual helpers.
 func TestSummarize(t *testing.T) {
 	xs := []int64{5, 1, 9, 3, 7}

@@ -1,0 +1,153 @@
+package clients
+
+import "testing"
+
+func TestRetryPolicyValidate(t *testing.T) {
+	good := RetryPolicy{MaxAttempts: 3, BaseBackoff: 100, MaxBackoff: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	for _, bad := range []RetryPolicy{
+		{MaxAttempts: 0},
+		{MaxAttempts: 2, BaseBackoff: -1},
+		{MaxAttempts: 2, BaseBackoff: 100, MaxBackoff: 50},
+		{MaxAttempts: 2, Deadline: -5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid policy %+v accepted", bad)
+		}
+	}
+}
+
+// TestBackoffDeterministicAndCapped: the jittered backoff is a pure function
+// of identity, grows exponentially pre-cap, and saturates at MaxBackoff*1.5.
+func TestBackoffDeterministicAndCapped(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 10, BaseBackoff: 1000, MaxBackoff: 8000, JitterSeed: 42}
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := rp.Backoff(3, 1, 2, attempt)
+		b := rp.Backoff(3, 1, 2, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %d vs %d", attempt, a, b)
+		}
+		// Jitter is in [0.5, 1.5), around base<<(attempt-1) capped at 8000.
+		pre := int64(1000) << (attempt - 1)
+		if pre > 8000 {
+			pre = 8000
+		}
+		if a < pre/2 || a >= pre+pre/2 {
+			t.Errorf("attempt %d: backoff %d outside [%d, %d)", attempt, a, pre/2, pre+pre/2)
+		}
+	}
+	if rp.Backoff(0, 0, 0, 0) != 0 {
+		t.Error("attempt 0 should cost nothing")
+	}
+	if (RetryPolicy{MaxAttempts: 2}).Backoff(1, 1, 1, 3) != 0 {
+		t.Error("zero BaseBackoff should disable backoff")
+	}
+}
+
+// TestBackoffJitterDecorrelates: distinct clients (and distinct attempts) get
+// distinct delays, so synchronized retry storms cannot form.
+func TestBackoffJitterDecorrelates(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 4, BaseBackoff: 100_000, MaxBackoff: 100_000, JitterSeed: 7}
+	seen := map[int64]bool{}
+	for client := 0; client < 16; client++ {
+		seen[rp.Backoff(client, 0, 0, 1)] = true
+	}
+	if len(seen) < 12 {
+		t.Errorf("16 clients share only %d distinct backoffs; jitter too correlated", len(seen))
+	}
+}
+
+// TestBreakerLifecycle walks the full closed -> open -> half-open -> closed
+// machine, including a failed probe.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(BreakerConfig{TripAfter: 3, Cooldown: 1000})
+	now := int64(0)
+
+	// Closed: failures below the trip threshold keep it closed; a success
+	// resets the run.
+	b.OnFailure(now)
+	b.OnFailure(now)
+	b.OnSuccess()
+	b.OnFailure(now)
+	b.OnFailure(now)
+	if got := b.State(now); got != BreakerClosed {
+		t.Fatalf("after interrupted failure run: state %v, want closed", got)
+	}
+	b.OnFailure(now) // third consecutive: trips
+	if got := b.State(now); got != BreakerOpen {
+		t.Fatalf("after trip: state %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	if b.Allow(now) || b.Allow(now+999) {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// Half-open: exactly one probe.
+	now = 1000
+	if got := b.State(now); got != BreakerHalfOpen {
+		t.Fatalf("after cooldown: state %v, want half-open", got)
+	}
+	if !b.Allow(now) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow(now) {
+		t.Fatal("half-open breaker admitted a second request while probing")
+	}
+
+	// Probe fails: open again for a full cooldown from now.
+	b.OnFailure(now)
+	if b.Allow(now + 999) {
+		t.Fatal("re-opened breaker admitted a request before the new cooldown")
+	}
+	now = 2000
+	if !b.Allow(now) {
+		t.Fatal("second probe refused")
+	}
+	b.OnSuccess()
+	if got := b.State(now); got != BreakerClosed {
+		t.Fatalf("after successful probe: state %v, want closed", got)
+	}
+	if !b.Allow(now) {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+// TestBreakerDisabled: TripAfter 0 never blocks anything.
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	for i := 0; i < 10; i++ {
+		b.OnFailure(int64(i))
+	}
+	if !b.Allow(100) || b.State(100) != BreakerClosed || b.Trips() != 0 {
+		t.Error("disabled breaker tripped")
+	}
+}
+
+func TestBreakerConfigValidate(t *testing.T) {
+	if err := (BreakerConfig{TripAfter: 3, Cooldown: 10}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (BreakerConfig{TripAfter: 3}).Validate(); err == nil {
+		t.Error("TripAfter without Cooldown accepted")
+	}
+	if err := (BreakerConfig{TripAfter: -1}).Validate(); err == nil {
+		t.Error("negative TripAfter accepted")
+	}
+	if err := (BreakerConfig{}).Validate(); err != nil {
+		t.Errorf("zero (disabled) config rejected: %v", err)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

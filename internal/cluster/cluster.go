@@ -7,6 +7,14 @@ package cluster
 // machine — sessions arrive by the population's Poisson schedule, queue FIFO
 // behind the client's running session, disclose their reads per shard, then
 // issue each read as per-shard parts with think time between ops.
+//
+// The client side is where the overload-survival layer closes its loop: a
+// part that comes back SHED/EIO/DEAD is retried with capped, seeded-jitter
+// exponential backoff under a per-op virtual-time deadline; a per-shard
+// circuit breaker fails fast toward shards that keep refusing; and when the
+// fault plan kills a shard mid-run, the ring re-routes its keys so retries
+// land on the surviving owner — the session re-opens there and its remaining
+// reads are re-disclosed as hints before the retried read arrives.
 
 import (
 	"fmt"
@@ -15,6 +23,7 @@ import (
 	"spechint/internal/clients"
 	"spechint/internal/core"
 	"spechint/internal/disk"
+	"spechint/internal/fault"
 	"spechint/internal/obs"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
@@ -52,18 +61,56 @@ type Config struct {
 	// the baseline the hinted runs are measured against.
 	Hints bool
 
+	// MaxInflight bounds how many read parts a shard serves concurrently;
+	// excess parts wait in the shard's admission queue. 0 dispatches every
+	// part immediately (no queueing layer — the original behavior).
+	MaxInflight int
+
+	// Admission arms load shedding at the shard boundary (requires
+	// MaxInflight > 0): a part is shed when the queue's predicted wait
+	// (depth x recent mean service / MaxInflight) exceeds LatencyBudget, or
+	// when the queue holds QueueCap parts. Priority dequeues reads of
+	// sessions already in flight ahead of new sessions' first reads.
+	Admission     bool
+	QueueCap      int
+	LatencyBudget int64
+	Priority      bool
+
+	// Retry is the client-side reaction to SHED/EIO/DEAD replies: capped
+	// exponential backoff with deterministic seeded jitter, bounded by
+	// MaxAttempts sends per part and an optional per-op deadline.
+	Retry clients.RetryPolicy
+
+	// Breaker configures each client's per-shard circuit breaker; the zero
+	// value disables it.
+	Breaker clients.BreakerConfig
+
+	// Fault, when non-nil, is the shard-level fault schedule: it can kill a
+	// shard outright mid-run (the ring re-routes its keys to survivors) or
+	// brown one out over a window (its service stretches, so admission
+	// control starts shedding).
+	Fault *fault.Plan
+
+	// DetectCycles is the failure-detection latency: after the fault plan
+	// kills a shard, clients keep routing to it — and collecting DEAD
+	// replies — for DetectCycles before the ring marks it dead and re-routes
+	// its keys. 0 means detection is instantaneous.
+	DetectCycles int64
+
 	// MaxCycles aborts a runaway run (0 = no bound).
 	MaxCycles int64
 
 	// Obs, when non-nil, receives every shard's lanes and gauges under
-	// "sN:"-prefixed views of this one trace.
+	// "sN:"-prefixed views of this one trace, plus cluster-wide overload
+	// gauges (shed/retry totals, open breakers).
 	Obs *obs.Trace
 }
 
 // DefaultConfig returns a cluster of `shards` nodes at testbed scale: two
 // HP-C2247 disks and a 4 MB TIP cache per shard, 64 ring vnodes, 64 KB
 // placement groups (one stripe unit), ~100 us one-way network, ~2 ms hint
-// batch window.
+// batch window. The admission layer is off (unbounded queueing, no retries
+// are ever needed because nothing sheds or dies); see OverloadConfig.
 func DefaultConfig(shards int) Config {
 	tcfg := tip.DefaultConfig()
 	tcfg.CacheBlocks = 4 << 20 / 8192
@@ -77,8 +124,32 @@ func DefaultConfig(shards int) Config {
 		HintBatchCycles: 466_000, // ~2 ms
 		HintBatchMax:    64,
 		Hints:           true,
-		MaxCycles:       1 << 42,
+		Retry: clients.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 466_000,    // ~2 ms, then 4, 8 ms ...
+			MaxBackoff:  37_280_000, // capped at ~160 ms
+			JitterSeed:  1,
+		},
+		Breaker:      clients.BreakerConfig{TripAfter: 8, Cooldown: 11_650_000}, // ~50 ms
+		DetectCycles: 2_330_000,                                                 // ~10 ms failure detector
+		MaxCycles:    1 << 42,
 	}
+}
+
+// OverloadConfig is DefaultConfig with the overload-survival layer armed:
+// bounded per-shard queues, cost-based admission against a latency budget,
+// priority for in-flight sessions, and a per-op deadline so a client
+// eventually gives up on a read the cluster cannot serve.
+func OverloadConfig(shards int) Config {
+	cfg := DefaultConfig(shards)
+	cfg.MaxInflight = 4 * cfg.Disk.NumDisks
+	cfg.Admission = true
+	cfg.QueueCap = 64
+	cfg.LatencyBudget = 23_300_000 // ~100 ms predicted queue wait
+	cfg.Priority = true
+	cfg.Retry.MaxAttempts = 8        // overload sheds often; keep trying
+	cfg.Retry.Deadline = 932_000_000 // ~4 s per read op, retries included
+	return cfg
 }
 
 // Validate reports a configuration error, if any.
@@ -92,6 +163,32 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: GroupBlocks = %d, want >= 1", c.GroupBlocks)
 	case c.NetCycles < 0 || c.HintBatchCycles < 0 || c.HintBatchMax < 0:
 		return fmt.Errorf("cluster: negative NetCycles, HintBatchCycles or HintBatchMax")
+	case c.MaxInflight < 0 || c.QueueCap < 0 || c.LatencyBudget < 0 || c.DetectCycles < 0:
+		return fmt.Errorf("cluster: negative MaxInflight, QueueCap, LatencyBudget or DetectCycles")
+	case c.Admission && c.MaxInflight < 1:
+		return fmt.Errorf("cluster: Admission requires MaxInflight >= 1 (got %d)", c.MaxInflight)
+	case c.Admission && c.QueueCap < 1 && c.LatencyBudget < 1:
+		return fmt.Errorf("cluster: Admission requires a QueueCap or a LatencyBudget")
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Breaker.Validate(); err != nil {
+		return err
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
+		if c.Fault.DieShard >= c.Shards {
+			return fmt.Errorf("cluster: fault plan kills shard %d of %d", c.Fault.DieShard, c.Shards)
+		}
+		if c.Fault.DieShard >= 0 && c.Shards < 2 {
+			return fmt.Errorf("cluster: cannot kill the only shard")
+		}
+		if c.Fault.BrownShard >= c.Shards {
+			return fmt.Errorf("cluster: fault plan browns out shard %d of %d", c.Fault.BrownShard, c.Shards)
+		}
 	}
 	if err := c.Disk.Validate(); err != nil {
 		return err
@@ -148,10 +245,52 @@ func New(cfg Config, pop *clients.Population) (*Cluster, error) {
 		c.shards = append(c.shards, s)
 	}
 	for i, cl := range pop.Clients {
-		c.cls = append(c.cls, &clientRun{c: c, id: i, sessions: cl.Sessions})
+		cr := &clientRun{c: c, id: i, sessions: cl.Sessions}
+		if cfg.Breaker.TripAfter > 0 {
+			cr.breakers = make([]*clients.Breaker, cfg.Shards)
+			for sh := range cr.breakers {
+				cr.breakers[sh] = clients.NewBreaker(cfg.Breaker)
+			}
+		}
+		c.cls = append(c.cls, cr)
 		c.remaining += len(cl.Sessions)
 	}
+	if cfg.Obs != nil {
+		c.installObs(cfg.Obs)
+	}
 	return c, nil
+}
+
+// installObs contributes the cluster-wide overload gauges: total sheds seen
+// by clients, total retries sent, and how many per-shard breakers are not
+// closed right now.
+func (c *Cluster) installObs(tr *obs.Trace) {
+	tr.AddGauge("client_sheds_seen", func() float64 {
+		var n int64
+		for _, cr := range c.cls {
+			n += cr.shedSeen
+		}
+		return float64(n)
+	})
+	tr.AddGauge("client_retries", func() float64 {
+		var n int64
+		for _, cr := range c.cls {
+			n += cr.retries
+		}
+		return float64(n)
+	})
+	tr.AddGauge("breakers_open", func() float64 {
+		now := int64(c.clk.Now())
+		open := 0
+		for _, cr := range c.cls {
+			for _, b := range cr.breakers {
+				if b.State(now) != clients.BreakerClosed {
+					open++
+				}
+			}
+		}
+		return float64(open)
+	})
 }
 
 // Run drives the event loop until every session has completed, then freezes
@@ -162,6 +301,15 @@ func (c *Cluster) Run() (*Result, error) {
 			si, cr := si, cr
 			c.clk.Schedule(sim.Time(cr.sessions[si].At), func() { cr.arrive(si) })
 		}
+	}
+	if p := c.cfg.Fault; p != nil && p.DieShard >= 0 {
+		id := p.DieShard
+		// The shard dies first; the ring learns DetectCycles later. In the
+		// window between, clients still route to the corpse, collect DEAD
+		// replies and burn retry attempts — the failure-detection latency a
+		// real cluster pays.
+		c.clk.Schedule(p.DieShardAt, func() { c.shards[id].die() })
+		c.clk.Schedule(p.DieShardAt+sim.Time(c.cfg.DetectCycles), func() { c.ring.MarkDead(id) })
 	}
 	for c.remaining > 0 {
 		if !c.clk.RunNext() {
@@ -194,12 +342,24 @@ type clientRun struct {
 	op      int   // next read op
 	touched []int // shards this session has messaged (close targets)
 
+	breakers []*clients.Breaker // per-shard; nil when the breaker is disabled
+
 	issueAt   sim.Time
+	deadline  sim.Time // absolute per-op deadline; 0 = none
+	opFailed  bool     // some part of the current op was abandoned
 	partsLeft int
 	curThink  int64
 
 	lats  []int64 // per-read latency, cycles, completion order
 	reads int64
+
+	// Resilience counters (aggregated into Result).
+	retries     int64 // part resends (attempt > 0)
+	shedSeen    int64 // SHED replies received
+	deadSeen    int64 // DEAD replies received
+	eioSeen     int64 // EIO replies received
+	brokerFast  int64 // parts failed fast by an open breaker, no message sent
+	failedReads int64 // ops abandoned after retries/deadline
 }
 
 // arrive queues session si; if the client is idle it starts immediately.
@@ -218,6 +378,15 @@ func (cr *clientRun) touch(sh int) {
 		}
 	}
 	cr.touched = append(cr.touched, sh)
+}
+
+func (cr *clientRun) hasTouched(sh int) bool {
+	for _, t := range cr.touched {
+		if t == sh {
+			return true
+		}
+	}
+	return false
 }
 
 // start opens the next pending session: disclose the whole session's read
@@ -264,38 +433,168 @@ func (cr *clientRun) issueOp() {
 		return
 	}
 	r := sess.Reads[cr.op]
-	key := SessionKey{Client: cr.id, Session: cr.cur}
-	parts := splitRange(c.ring, c.cfg.GroupBlocks, c.cfg.Clients.BlockSize, sess.File, r.Off, r.N, c.fileSize)
-	if len(parts) == 0 { // degenerate op (outside the file): skip it
+	if r.Off >= cr.fileEnd() || r.Off < 0 { // degenerate op (outside the file): skip it
 		cr.op++
 		cr.issueOp()
 		return
 	}
-	cr.partsLeft = len(parts)
+	cr.partsLeft = 1
+	cr.opFailed = false
 	cr.issueAt = c.clk.Now()
+	cr.deadline = 0
+	if d := c.cfg.Retry.Deadline; d > 0 {
+		cr.deadline = cr.issueAt + sim.Time(d)
+	}
 	cr.curThink = r.Think
+	cr.sendPart(r.Off, r.N, 0)
+}
+
+// fileEnd returns the corpus file size (every file is the same size).
+func (cr *clientRun) fileEnd() int64 { return cr.c.fileSize }
+
+// discloseTo re-discloses the rest of the session's read span to a shard the
+// session has not messaged before — the failover path: when the ring
+// re-routes a dead shard's keys, the new owner receives the hints it needs
+// before (in virtual time: concurrently with) the retried read.
+func (cr *clientRun) discloseTo(shid int, fromOff int64) {
+	c := cr.c
+	if !c.cfg.Hints {
+		return
+	}
+	sess := cr.sessions[cr.cur]
+	if len(sess.Reads) == 0 {
+		return
+	}
+	lastOp := sess.Reads[len(sess.Reads)-1]
+	span := lastOp.Off + lastOp.N
+	if fromOff >= span {
+		return
+	}
+	key := SessionKey{Client: cr.id, Session: cr.cur}
+	parts := splitRange(c.ring, c.cfg.GroupBlocks, c.cfg.Clients.BlockSize, sess.File, fromOff, span-fromOff, c.fileSize)
+	var segs []HintSeg
+	for _, p := range parts {
+		if p.Shard == shid {
+			segs = append(segs, HintSeg{File: sess.File, Off: p.Off, N: p.N})
+		}
+	}
+	if len(segs) == 0 {
+		return
+	}
+	target := c.shards[shid]
+	c.clk.After(sim.Time(c.cfg.NetCycles), func() { target.serveHints(key, segs) })
+}
+
+// sendPart routes the byte range [off, off+n) through the ring — at send
+// time, so a failover between attempts re-routes it — and issues one message
+// per owner part. attempt 0 is the first send; retries carry their attempt
+// number so shards can count them.
+func (cr *clientRun) sendPart(off, n int64, attempt int) {
+	c := cr.c
+	sess := cr.sessions[cr.cur]
+	key := SessionKey{Client: cr.id, Session: cr.cur}
+	parts := splitRange(c.ring, c.cfg.GroupBlocks, c.cfg.Clients.BlockSize, sess.File, off, n, c.fileSize)
+	if len(parts) == 0 {
+		// The range fell entirely outside the file (clamped away): resolve
+		// the pending part slot as served-empty.
+		cr.partDone()
+		return
+	}
+	cr.partsLeft += len(parts) - 1
+	now := int64(c.clk.Now())
 	for _, p := range parts {
 		p := p
+		if br := cr.breaker(p.Shard); br != nil && !br.Allow(now) {
+			// Fail fast: the breaker is open, don't even pay the network.
+			cr.brokerFast++
+			cr.partFailed(p.Off, p.N, attempt)
+			continue
+		}
+		if !cr.hasTouched(p.Shard) {
+			cr.discloseTo(p.Shard, p.Off)
+		}
 		cr.touch(p.Shard)
+		if attempt > 0 {
+			cr.retries++
+		}
+		retry := attempt > 0
 		target := c.shards[p.Shard]
 		c.clk.After(sim.Time(c.cfg.NetCycles), func() {
-			target.serveRead(key, sess.File, p.Off, p.N, func() {
-				c.clk.After(sim.Time(c.cfg.NetCycles), cr.partDone)
+			target.serveRead(key, sess.File, p.Off, p.N, retry, func(st Status) {
+				c.clk.After(sim.Time(c.cfg.NetCycles), func() { cr.partReply(p, attempt, st) })
 			})
 		})
 	}
 }
 
-// partDone collects one part reply; when the op's last part lands the read's
-// latency is recorded and the next op is scheduled after the think time.
+// breaker returns this client's breaker toward a shard, or nil when breakers
+// are disabled.
+func (cr *clientRun) breaker(sh int) *clients.Breaker {
+	if cr.breakers == nil {
+		return nil
+	}
+	return cr.breakers[sh]
+}
+
+// partReply handles one part's response: success resolves the part, anything
+// else feeds the breaker and enters the retry path.
+func (cr *clientRun) partReply(p ReadPart, attempt int, st Status) {
+	now := int64(cr.c.clk.Now())
+	br := cr.breaker(p.Shard)
+	if st == StatusOK {
+		if br != nil {
+			br.OnSuccess()
+		}
+		cr.partDone()
+		return
+	}
+	if br != nil {
+		br.OnFailure(now)
+	}
+	switch st {
+	case StatusShed:
+		cr.shedSeen++
+	case StatusDead:
+		cr.deadSeen++
+	case StatusEIO:
+		cr.eioSeen++
+	}
+	cr.partFailed(p.Off, p.N, attempt)
+}
+
+// partFailed decides between retrying the range after a jittered backoff and
+// abandoning the op: attempts are bounded by Retry.MaxAttempts and the next
+// retry must still fit under the op's deadline.
+func (cr *clientRun) partFailed(off, n int64, attempt int) {
+	c := cr.c
+	rp := c.cfg.Retry
+	sends := attempt + 1
+	if sends < rp.MaxAttempts {
+		backoff := rp.Backoff(cr.id, cr.cur, cr.op, attempt+1)
+		if cr.deadline == 0 || c.clk.Now()+sim.Time(backoff) <= cr.deadline {
+			c.clk.After(sim.Time(backoff), func() { cr.sendPart(off, n, attempt+1) })
+			return
+		}
+	}
+	cr.opFailed = true
+	cr.partDone()
+}
+
+// partDone resolves one pending part slot; when the op's last slot resolves,
+// a fully served op records its latency (a failed op records a failure
+// instead) and the next op is scheduled after the think time.
 func (cr *clientRun) partDone() {
 	cr.partsLeft--
 	if cr.partsLeft > 0 {
 		return
 	}
 	c := cr.c
-	cr.lats = append(cr.lats, int64(c.clk.Now()-cr.issueAt))
-	cr.reads++
+	if cr.opFailed {
+		cr.failedReads++
+	} else {
+		cr.lats = append(cr.lats, int64(c.clk.Now()-cr.issueAt))
+		cr.reads++
+	}
 	cr.op++
 	c.clk.After(sim.Time(cr.curThink), cr.issueOp)
 }
@@ -323,6 +622,8 @@ type ClientResult struct {
 	ID       int
 	Sessions int
 	Reads    int64
+	Failed   int64 // ops abandoned after retries/deadline
+	Retries  int64
 	MeanLat  float64 // mean read latency, cycles
 	MaxLat   int64
 }
@@ -341,16 +642,29 @@ type ShardResult struct {
 // Result is the outcome of one cluster run.
 type Result struct {
 	Elapsed sim.Time
-	Reads   int64
+	Reads   int64 // fully served read ops
 	Blocks  int64
 
-	// Latencies holds every read's latency in cycles, client-id order then
-	// completion order within a client — a deterministic ordering suitable
-	// for percentile extraction.
+	// Overload/failure accounting, cluster-wide.
+	FailedReads  int64 // ops abandoned after retries/deadline
+	Retries      int64 // part resends
+	ShedSeen     int64 // SHED replies clients received
+	DeadSeen     int64 // DEAD replies clients received
+	EIOSeen      int64 // EIO replies clients received
+	BreakerFast  int64 // parts failed fast by open breakers (no message sent)
+	BreakerTrips int64 // breaker openings across all clients
+
+	// Latencies holds every served read's latency in cycles, client-id order
+	// then completion order within a client — a deterministic ordering
+	// suitable for percentile extraction. Failed ops contribute no sample.
 	Latencies []int64
 
 	Clients []ClientResult
 	Shards  []ShardResult
+
+	hintBatchMax int  // for Check
+	admission    bool // for Check
+	queueCap     int  // for Check
 }
 
 // Seconds converts the run's elapsed virtual time to testbed seconds.
@@ -364,8 +678,45 @@ func (r *Result) Throughput() float64 {
 	return 0
 }
 
+// Check verifies the run's conservation invariants and returns the first
+// violation: every shard's stall buckets must sum exactly to elapsed, every
+// offered part must be ruled exactly once (Admitted + Shed + Failed ==
+// Offered), the hint ingestion queue must never have exceeded its cap, and
+// the admission queue must never have exceeded QueueCap. Tests and the bench
+// experiments fail loudly on any violation.
+func (r *Result) Check() error {
+	for _, s := range r.Shards {
+		if got := s.Buckets.Total(); got != int64(r.Elapsed) {
+			return fmt.Errorf("cluster: shard %d stall buckets sum to %d, elapsed %d", s.ID, got, r.Elapsed)
+		}
+		st := s.Stats
+		if st.Admitted+st.Shed+st.Failed != st.Offered {
+			return fmt.Errorf("cluster: shard %d conservation: admitted %d + shed %d + failed %d != offered %d",
+				s.ID, st.Admitted, st.Shed, st.Failed, st.Offered)
+		}
+		if st.ReadParts != st.Admitted {
+			return fmt.Errorf("cluster: shard %d served %d parts but admitted %d", s.ID, st.ReadParts, st.Admitted)
+		}
+		if r.hintBatchMax > 0 && st.PeakIngest > r.hintBatchMax {
+			return fmt.Errorf("cluster: shard %d ingestion queue peaked at %d, cap %d", s.ID, st.PeakIngest, r.hintBatchMax)
+		}
+		if r.admission && r.queueCap > 0 && st.PeakQueue > r.queueCap {
+			return fmt.Errorf("cluster: shard %d admission queue peaked at %d, cap %d", s.ID, st.PeakQueue, r.queueCap)
+		}
+		if !r.admission && st.Shed != 0 {
+			return fmt.Errorf("cluster: shard %d shed %d parts with admission disabled", s.ID, st.Shed)
+		}
+	}
+	return nil
+}
+
 func (c *Cluster) result() *Result {
-	res := &Result{Elapsed: c.doneAt}
+	res := &Result{
+		Elapsed:      c.doneAt,
+		hintBatchMax: c.cfg.HintBatchMax,
+		admission:    c.cfg.Admission,
+		queueCap:     c.cfg.QueueCap,
+	}
 	for _, cr := range c.cls {
 		sum := int64(0)
 		mx := int64(0)
@@ -380,9 +731,20 @@ func (c *Cluster) result() *Result {
 			mean = float64(sum) / float64(len(cr.lats))
 		}
 		res.Clients = append(res.Clients, ClientResult{
-			ID: cr.id, Sessions: len(cr.sessions), Reads: cr.reads, MeanLat: mean, MaxLat: mx,
+			ID: cr.id, Sessions: len(cr.sessions), Reads: cr.reads,
+			Failed: cr.failedReads, Retries: cr.retries,
+			MeanLat: mean, MaxLat: mx,
 		})
 		res.Reads += cr.reads
+		res.FailedReads += cr.failedReads
+		res.Retries += cr.retries
+		res.ShedSeen += cr.shedSeen
+		res.DeadSeen += cr.deadSeen
+		res.EIOSeen += cr.eioSeen
+		res.BreakerFast += cr.brokerFast
+		for _, b := range cr.breakers {
+			res.BreakerTrips += b.Trips()
+		}
 		res.Latencies = append(res.Latencies, cr.lats...)
 	}
 	for _, s := range c.shards {

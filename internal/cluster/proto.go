@@ -10,6 +10,41 @@ package cluster
 // which is exactly the seam that makes sharding, batching and admission
 // control expressible.
 
+// Status is a shard's reply to one read part. Anything but StatusOK is a
+// failure from the client's point of view; the client's retry policy and
+// per-shard breaker decide what happens next.
+type Status uint8
+
+const (
+	// StatusOK: the part was served; the data is good.
+	StatusOK Status = iota
+	// StatusShed: admission control rejected the part before service — the
+	// shard's queue already owes more latency than its budget. Retry after
+	// backoff.
+	StatusShed
+	// StatusEIO: the part was served but the underlying read failed.
+	StatusEIO
+	// StatusDead: the shard is dead — the part was rejected at arrival,
+	// killed in its queue, or its shard died mid-service. The ring has
+	// re-routed the shard's keys; a retry reaches the new owner.
+	StatusDead
+)
+
+// String renders the status for diagnostics.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusShed:
+		return "SHED"
+	case StatusEIO:
+		return "EIO"
+	case StatusDead:
+		return "DEAD"
+	}
+	return "Status(?)"
+}
+
 // SessionKey names one client session; it scopes a shard's per-session TIP
 // hint stream so one client's disclosures are never bypassed against
 // another's.

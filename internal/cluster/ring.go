@@ -26,6 +26,8 @@ type Ring struct {
 	shards int
 	vnodes int
 	points []ringPoint // sorted by (hash, shard)
+	dead   []bool      // per-shard liveness; dead shards' points are skipped
+	live   int         // count of live shards
 }
 
 type ringPoint struct {
@@ -41,7 +43,11 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 	if vnodes < 1 {
 		return nil, fmt.Errorf("cluster: ring needs >= 1 vnode per shard, got %d", vnodes)
 	}
-	r := &Ring{shards: shards, vnodes: vnodes, points: make([]ringPoint, 0, shards*vnodes)}
+	r := &Ring{
+		shards: shards, vnodes: vnodes,
+		points: make([]ringPoint, 0, shards*vnodes),
+		dead:   make([]bool, shards), live: shards,
+	}
 	for s := 0; s < shards; s++ {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, ringPoint{pointHash(s, v), s})
@@ -59,14 +65,52 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 // Shards returns the ring's shard count.
 func (r *Ring) Shards() int { return r.shards }
 
+// Live returns how many shards are currently alive.
+func (r *Ring) Live() int { return r.live }
+
+// Alive reports whether shard s is alive.
+func (r *Ring) Alive(s int) bool { return !r.dead[s] }
+
+// MarkDead removes shard s from the placement: its ring points are skipped,
+// so its keys fall through to the next live point clockwise — every other
+// shard's keys stay exactly where they were (the failover analogue of the
+// rebalance bound). Marking the last live shard dead panics: a cluster with
+// no servers has no meaningful placement.
+func (r *Ring) MarkDead(s int) {
+	if r.dead[s] {
+		return
+	}
+	if r.live == 1 {
+		panic("cluster: marking the last live shard dead")
+	}
+	r.dead[s] = true
+	r.live--
+}
+
+// Revive returns shard s to the placement. Because the points themselves
+// never move, revival restores the original ownership of every key exactly.
+func (r *Ring) Revive(s int) {
+	if !r.dead[s] {
+		return
+	}
+	r.dead[s] = false
+	r.live++
+}
+
 // Lookup returns the shard owning hash h: the first ring point clockwise of
-// h, wrapping at the top of the circle.
+// h whose shard is alive, wrapping at the top of the circle.
 func (r *Ring) Lookup(h uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
-	if i == len(r.points) {
-		i = 0
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		if !r.dead[r.points[i].shard] {
+			return r.points[i].shard
+		}
+		i++
 	}
-	return r.points[i].shard
+	panic("cluster: lookup on a ring with no live shards")
 }
 
 // Owner returns the shard owning placement group `group` of corpus file

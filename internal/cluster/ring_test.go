@@ -141,3 +141,84 @@ func TestSplitRange(t *testing.T) {
 		t.Errorf("read past EOF produced parts %v", parts)
 	}
 }
+
+// TestRingFailoverReroute: marking a shard dead moves ONLY its keys, moves
+// them ONLY to live shards, and leaves every other key's owner untouched —
+// the failover contract that bounds key movement to the dead shard's share.
+func TestRingFailoverReroute(t *testing.T) {
+	const shards = 4
+	r, err := NewRing(shards, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sampleKeys(200, 8) // 1600 keys
+	baseline := make([]int, len(keys))
+	for i, k := range keys {
+		baseline[i] = r.Owner(int(k[0]), k[1])
+	}
+
+	const dead = 2
+	r.MarkDead(dead)
+	if r.Live() != shards-1 || r.Alive(dead) {
+		t.Fatalf("after MarkDead: live=%d alive(%d)=%v", r.Live(), dead, r.Alive(dead))
+	}
+	moved := 0
+	for i, k := range keys {
+		got := r.Owner(int(k[0]), k[1])
+		if baseline[i] != dead {
+			if got != baseline[i] {
+				t.Fatalf("key (%d,%d) owned by live shard %d moved to %d", k[0], k[1], baseline[i], got)
+			}
+			continue
+		}
+		moved++
+		if got == dead {
+			t.Fatalf("key (%d,%d) still routed to dead shard %d", k[0], k[1], dead)
+		}
+		if !r.Alive(got) {
+			t.Fatalf("key (%d,%d) routed to dead shard %d", k[0], k[1], got)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("dead shard owned no keys; the test proves nothing")
+	}
+	if bound := 2 * len(keys) / shards; moved > bound {
+		t.Errorf("death of 1/%d shards moved %d of %d keys, want <= %d", shards, moved, len(keys), bound)
+	}
+
+	// Revival restores the original placement exactly, deterministically.
+	r.Revive(dead)
+	for i, k := range keys {
+		if got := r.Owner(int(k[0]), k[1]); got != baseline[i] {
+			t.Fatalf("after revival key (%d,%d) owned by %d, originally %d", k[0], k[1], got, baseline[i])
+		}
+	}
+}
+
+// TestRingFailoverCascade: with repeated deaths the survivors absorb the
+// orphaned keys; killing the last shard panics rather than placing keys on a
+// serverless ring, and double-kill/double-revive are idempotent.
+func TestRingFailoverCascade(t *testing.T) {
+	r, err := NewRing(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := sampleKeys(100, 8)
+	r.MarkDead(0)
+	r.MarkDead(0) // idempotent
+	r.MarkDead(1)
+	if r.Live() != 1 {
+		t.Fatalf("live = %d, want 1", r.Live())
+	}
+	for _, k := range keys {
+		if got := r.Owner(int(k[0]), k[1]); got != 2 {
+			t.Fatalf("sole survivor does not own key (%d,%d): owner %d", k[0], k[1], got)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("killing the last live shard did not panic")
+		}
+	}()
+	r.MarkDead(2)
+}

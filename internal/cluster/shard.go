@@ -9,6 +9,18 @@ package cluster
 // amortization a real RPC hint path needs. Every cycle of a shard's life is
 // charged to exactly one stall bucket, so the per-shard buckets sum to the
 // run's elapsed time by construction.
+//
+// The shard's front door is cost-based admission control (Config.Admission):
+// read parts enter a bounded two-priority queue and are dispatched into TIP
+// at most Config.MaxInflight at a time. A part is shed at arrival when the
+// queue's predicted wait — depth x recent mean service time / service width —
+// exceeds Config.LatencyBudget (or when the queue hits its hard cap), so
+// under overload the shard keeps serving at capacity with bounded latency
+// instead of queueing without bound. Every arriving part is ruled exactly
+// once: Admitted (dispatched into service), Shed (admission rejection), or
+// Failed (the shard was dead at arrival, or died while the part waited) —
+// Admitted + Shed + Failed == Offered is the conservation invariant tests
+// and CI hold the shard to, mirroring the stall-bucket identity.
 
 import (
 	"fmt"
@@ -39,7 +51,15 @@ func (b Buckets) Total() int64 { return b.HintedService + b.UnhintedService + b.
 // ShardStats counts a shard's protocol-level activity (the TIP, cache and
 // disk layers below keep their own counters).
 type ShardStats struct {
-	ReadParts    int64 // read requests served
+	// Admission accounting. Every offered read part is ruled exactly once:
+	// Offered == Admitted + Shed + Failed (checked by Result.Check).
+	Offered  int64 // read parts that arrived at the shard (retries included)
+	Admitted int64 // parts dispatched into service
+	Shed     int64 // parts rejected by admission control
+	Failed   int64 // parts refused dead-at-arrival or killed in queue on death
+	Retried  int64 // subset of Offered that were client retries
+
+	ReadParts    int64 // read requests served (== Admitted)
 	HintedParts  int64 // subset that arrived with hint coverage
 	ReadErrors   int64 // read parts that resolved with an error
 	HintMsgs     int64 // hint messages received
@@ -49,7 +69,8 @@ type ShardStats struct {
 	Batches      int64 // ingestion queue flushes
 	SessionsOpen int64 // sessions ever opened
 	PeakSessions int   // max concurrently open sessions
-	PeakIngest   int   // max ingestion queue depth
+	PeakIngest   int   // max ingestion queue depth (<= HintBatchMax when capped)
+	PeakQueue    int   // max admission queue depth (<= QueueCap when admission is on)
 }
 
 // pendingHint is one queued, not-yet-applied hint segment.
@@ -57,6 +78,21 @@ type pendingHint struct {
 	key SessionKey
 	seg HintSeg
 }
+
+// partReq is one read part waiting in (or moving through) the shard's
+// admission queue.
+type partReq struct {
+	key   SessionKey
+	file  int
+	off   int64
+	n     int64
+	reply func(Status)
+}
+
+// initialSvcEst seeds the mean-service estimate before the first completion
+// (~4 ms at testbed scale, a mid-range disk read), so admission has a sane
+// cost model from the first request.
+const initialSvcEst = 1_000_000
 
 // shard is one server node.
 type shard struct {
@@ -69,10 +105,18 @@ type shard struct {
 	tm    *tip.Manager
 	files []*fsim.File // full corpus replica; the ring decides which blocks this shard actually serves
 
-	sess map[SessionKey]*tip.Client
+	sess   map[SessionKey]*tip.Client
+	served map[SessionKey]bool // sessions with >= 1 part dispatched here (priority class)
 
 	ingest  []pendingHint
 	flushEv *sim.Event
+
+	// Admission/service state (active when cfg.MaxInflight > 0).
+	hotQ     []partReq // parts of sessions already in flight here
+	coldQ    []partReq // first parts of newly opened sessions
+	inflight int       // parts dispatched into TIP, not yet completed
+	svcEst   int64     // EWMA of per-part service cycles (dispatch -> done)
+	dead     bool      // shard killed by the fault plan
 
 	// Interval accounting: the bucket charged for [lastAt, now) is decided by
 	// the demand state that held over that interval, updated at every
@@ -103,8 +147,9 @@ func newShard(id int, clk *sim.Queue, cfg *Config, corpus []byte) (*shard, error
 	s := &shard{
 		id: id, clk: clk, cfg: cfg,
 		fs: fs, arr: arr, tm: tm,
-		files: make([]*fsim.File, cfg.Clients.Files),
-		sess:  make(map[SessionKey]*tip.Client),
+		files:  make([]*fsim.File, cfg.Clients.Files),
+		sess:   make(map[SessionKey]*tip.Client),
+		served: make(map[SessionKey]bool),
 	}
 	for i := range s.files {
 		f, err := fs.Create(fmt.Sprintf("f%04d", i), corpus)
@@ -122,12 +167,16 @@ func newShard(id int, clk *sim.Queue, cfg *Config, corpus []byte) (*shard, error
 
 // installObs wires the shard's layers onto a prefixed view of the cluster
 // trace: TIP/cache/disk lanes become "sN:tip", "sN:cache", "sN:diskK", and
-// the shard contributes queue-depth and session gauges under the same prefix.
+// the shard contributes queue-depth, session and overload gauges under the
+// same prefix.
 func (s *shard) installObs(sub *obs.Trace) {
 	s.tm.SetObs(sub)
 	s.arr.SetObs(sub)
 	sub.AddGauge("ingest_queue_depth", func() float64 { return float64(len(s.ingest)) })
 	sub.AddGauge("active_sessions", func() float64 { return float64(len(s.sess)) })
+	sub.AddGauge("admit_queue_depth", func() float64 { return float64(len(s.hotQ) + len(s.coldQ)) })
+	sub.AddGauge("shed_total", func() float64 { return float64(s.stats.Shed) })
+	sub.AddGauge("service_est_cycles", func() float64 { return float64(s.svcEst) })
 	for i := 0; i < s.cfg.Disk.NumDisks; i++ {
 		i := i
 		sub.AddGauge(fmt.Sprintf("disk%d_queue_depth", i), func() float64 {
@@ -181,17 +230,149 @@ func (s *shard) session(key SessionKey) *tip.Client {
 	return cli
 }
 
-// serveRead services one ReadPart. Whether the part counts as hinted is the
-// shard's decision, made at service time against the session's applied hint
-// queue — a hint message that lost the race with its read (still sitting in
-// the ingestion queue) does not count, exactly as a real server could not
-// credit a disclosure it has not processed.
-func (s *shard) serveRead(key SessionKey, file int, off, n int64, reply func()) {
+// brownFactor returns the fault plan's current service-stretch factor for
+// this shard (1 = healthy).
+func (s *shard) brownFactor() int {
+	if s.cfg.Fault == nil {
+		return 1
+	}
+	return s.cfg.Fault.ShardBrownFactor(s.id, s.clk.Now())
+}
+
+// svcEstimate is the recent mean per-part service time, falling back to the
+// initial seed before any completion has been observed.
+func (s *shard) svcEstimate() int64 {
+	if s.svcEst > 0 {
+		return s.svcEst
+	}
+	return initialSvcEst
+}
+
+// observeService folds one completed part's service time into the EWMA the
+// admission policy prices queue depth with (gain 1/8: jittery enough to track
+// brownouts, smooth enough not to flap on one cache hit).
+func (s *shard) observeService(sample int64) {
+	if sample < 1 {
+		sample = 1
+	}
+	if s.svcEst == 0 {
+		s.svcEst = sample
+		return
+	}
+	s.svcEst += (sample - s.svcEst) / 8
+}
+
+// shouldShed is the cost-based admission policy: reject when the queue is at
+// its hard cap, or when the predicted wait for a new arrival — every queued
+// and in-flight part ahead of it, priced at the recent mean service time and
+// divided across the service width — exceeds the latency budget. A brownout
+// stretches dispatch, not service, so the predicate prices the current
+// stretch factor explicitly: a browned-out shard starts shedding as soon as
+// its queue owes more than the budget at its degraded rate.
+func (s *shard) shouldShed() bool {
+	depth := len(s.hotQ) + len(s.coldQ)
+	if s.cfg.QueueCap > 0 && depth >= s.cfg.QueueCap {
+		return true
+	}
+	if s.cfg.LatencyBudget > 0 {
+		width := s.cfg.MaxInflight
+		if width < 1 {
+			width = 1
+		}
+		est := s.svcEstimate() * int64(s.brownFactor())
+		wait := int64(depth+s.inflight) * est / int64(width)
+		return wait > s.cfg.LatencyBudget
+	}
+	return false
+}
+
+// serveRead rules on one arriving ReadPart: reject it if the shard is dead,
+// shed it if admission says the queue already owes too much latency, else
+// queue it (or, with no admission layer configured, dispatch it directly —
+// the original unbounded behavior overload runs measure against).
+func (s *shard) serveRead(key SessionKey, file int, off, n int64, retry bool, reply func(Status)) {
+	s.account(s.clk.Now())
+	s.stats.Offered++
+	if retry {
+		s.stats.Retried++
+	}
+	if s.dead {
+		s.stats.Failed++
+		reply(StatusDead)
+		return
+	}
+	req := partReq{key: key, file: file, off: off, n: n, reply: reply}
+	if s.cfg.MaxInflight <= 0 {
+		s.startService(req)
+		return
+	}
+	if s.cfg.Admission && s.shouldShed() {
+		s.stats.Shed++
+		reply(StatusShed)
+		return
+	}
+	// Two priority classes: sessions with a part already served here go to
+	// the hot queue and dequeue first, so in-flight sessions' reads are never
+	// starved by a thundering herd of new opens.
+	if s.cfg.Priority && s.served[key] {
+		s.hotQ = append(s.hotQ, req)
+	} else {
+		s.coldQ = append(s.coldQ, req)
+	}
+	if depth := len(s.hotQ) + len(s.coldQ); depth > s.stats.PeakQueue {
+		s.stats.PeakQueue = depth
+	}
+	s.pump()
+}
+
+// pump dispatches queued parts into TIP while service slots are free, hot
+// queue first. During a brownout window each dispatch is stretched by the
+// fault plan's factor before it reaches TIP — the shard is alive but slow,
+// which is exactly the regime admission control exists for.
+func (s *shard) pump() {
+	for s.inflight < s.cfg.MaxInflight {
+		var req partReq
+		switch {
+		case len(s.hotQ) > 0:
+			req, s.hotQ = s.hotQ[0], s.hotQ[1:]
+		case len(s.coldQ) > 0:
+			req, s.coldQ = s.coldQ[0], s.coldQ[1:]
+		default:
+			return
+		}
+		s.inflight++
+		if f := s.brownFactor(); f > 1 {
+			width := s.cfg.MaxInflight
+			if width < 1 {
+				width = 1
+			}
+			delay := sim.Time(int64(f-1) * s.svcEstimate() / int64(width))
+			s.clk.After(delay, func() { s.startService(req) })
+			continue
+		}
+		s.startService(req)
+	}
+}
+
+// startService moves one part into service: this is the Admitted ruling. If
+// the shard died while the part waited (queued or brownout-delayed), the part
+// is Failed instead — still exactly one ruling per offered part.
+func (s *shard) startService(req partReq) {
 	now := s.clk.Now()
 	s.account(now)
-	cli := s.session(key)
-	f := s.files[file]
-	hinted := cli.Covered(f, off, n)
+	if s.dead {
+		s.stats.Failed++
+		if s.cfg.MaxInflight > 0 {
+			s.inflight--
+		}
+		req.reply(StatusDead)
+		return
+	}
+	s.stats.Admitted++
+	s.served[req.key] = true
+	cli := s.session(req.key)
+	f := s.files[req.file]
+	hinted := cli.Covered(f, req.off, req.n)
 	s.stats.ReadParts++
 	if hinted {
 		s.stats.HintedParts++
@@ -201,38 +382,80 @@ func (s *shard) serveRead(key SessionKey, file int, off, n int64, reply func()) 
 		s.outHinted++
 	}
 	done := func(err error) {
-		s.account(s.clk.Now())
+		end := s.clk.Now()
+		s.account(end)
 		s.outstanding--
 		if hinted {
 			s.outHinted--
 		}
+		s.observeService(int64(end - now))
 		if err != nil {
 			s.stats.ReadErrors++
 		}
-		reply()
+		st := StatusOK
+		switch {
+		case s.dead:
+			st = StatusDead // completed on a dead shard: the reply never makes it
+		case err != nil:
+			st = StatusEIO
+		}
+		if s.cfg.MaxInflight > 0 {
+			s.inflight--
+			s.pump()
+		}
+		req.reply(st)
 	}
-	if cli.Read(f, off, n, hinted, done) {
+	if cli.Read(f, req.off, req.n, hinted, done) {
 		done(nil) // fully cached: tip never calls done on the immediate path
 	}
 }
 
+// die kills the shard: every queued part fails (the client's retry re-routes
+// it through the ring, which learns of the death after the failure-detection
+// window), pending hint ingestion is dropped, and future arrivals are refused
+// at the door. Parts already in TIP service run to completion but reply
+// StatusDead — the data of a dead node never reaches the client.
+func (s *shard) die() {
+	if s.dead {
+		return
+	}
+	s.account(s.clk.Now())
+	s.dead = true
+	for _, q := range [][]partReq{s.hotQ, s.coldQ} {
+		for _, req := range q {
+			s.stats.Failed++
+			req.reply(StatusDead)
+		}
+	}
+	s.hotQ, s.coldQ = nil, nil
+	if s.flushEv != nil {
+		s.clk.Cancel(s.flushEv)
+		s.flushEv = nil
+	}
+	s.ingest = nil
+}
+
 // serveHints receives one hint message: the segments enter the ingestion
-// queue and apply at the next flush — after HintBatchCycles, or immediately
-// once the queue reaches HintBatchMax. The session opens now even though the
-// hints apply later, so a racing read lands on the right stream.
+// queue and apply at the next flush — after HintBatchCycles, or the moment
+// the queue reaches HintBatchMax (the cap is checked per segment, so the
+// queue depth never exceeds it: PeakIngest <= HintBatchMax is a checked
+// invariant). The session opens now even though the hints apply later, so a
+// racing read lands on the right stream.
 func (s *shard) serveHints(key SessionKey, segs []HintSeg) {
+	if s.dead {
+		return
+	}
 	s.stats.HintMsgs++
 	s.stats.HintSegsIn += int64(len(segs))
 	s.session(key)
 	for _, sg := range segs {
 		s.ingest = append(s.ingest, pendingHint{key: key, seg: sg})
-	}
-	if n := len(s.ingest); n > s.stats.PeakIngest {
-		s.stats.PeakIngest = n
-	}
-	if s.cfg.HintBatchMax > 0 && len(s.ingest) >= s.cfg.HintBatchMax {
-		s.flush()
-		return
+		if n := len(s.ingest); n > s.stats.PeakIngest {
+			s.stats.PeakIngest = n
+		}
+		if s.cfg.HintBatchMax > 0 && len(s.ingest) >= s.cfg.HintBatchMax {
+			s.flush()
+		}
 	}
 	if s.flushEv == nil && len(s.ingest) > 0 {
 		s.flushEv = s.clk.After(sim.Time(s.cfg.HintBatchCycles), func() {
@@ -281,4 +504,5 @@ func (s *shard) closeSession(key SessionKey) {
 		cli.Close()
 		delete(s.sess, key)
 	}
+	delete(s.served, key)
 }

@@ -63,6 +63,23 @@ type Plan struct {
 	DieDisk int
 	DieAt   sim.Time
 
+	// DieShard/DieShardAt kill one whole cluster shard at virtual time
+	// DieShardAt: queued requests fail, the ring re-routes its keys to
+	// survivors. DieShard < 0 disables it; DieShardAt must be > 0 when a
+	// shard is named (zero value injects nothing).
+	DieShard   int
+	DieShardAt sim.Time
+
+	// BrownShard browns shard BrownShard out over [BrownAt, BrownUntil):
+	// during the window its effective service rate drops by BrownFactor
+	// (the shard stretches each dispatch), so queues grow and admission
+	// control has something real to shed against. BrownShard < 0 disables
+	// it; the window must be non-empty when a shard is named.
+	BrownShard  int
+	BrownAt     sim.Time
+	BrownUntil  sim.Time
+	BrownFactor int
+
 	rng       uint64
 	burstLeft map[int]int      // per-disk remaining burst failures
 	attempts  map[[2]int64]int // (disk, phys) -> failed attempts so far
@@ -80,7 +97,7 @@ type Stats struct {
 
 // NewPlan returns a plan with the given seed and defaults applied.
 func NewPlan(seed int64) *Plan {
-	p := &Plan{Seed: seed, DieDisk: -1}
+	p := &Plan{Seed: seed, DieDisk: -1, DieShard: -1, BrownShard: -1}
 	p.init()
 	return p
 }
@@ -91,6 +108,9 @@ func (p *Plan) init() {
 	}
 	if p.SpikeFactor <= 0 {
 		p.SpikeFactor = 4
+	}
+	if p.BrownFactor <= 0 {
+		p.BrownFactor = 8
 	}
 	p.rng = uint64(p.Seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	p.burstLeft = make(map[int]int)
@@ -112,8 +132,29 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("fault: failn %d, want >= 0", p.FailN)
 	case p.DieDisk >= 0 && p.DieAt <= 0:
 		return fmt.Errorf("fault: die time %d, want > 0", p.DieAt)
+	case p.DieShard >= 0 && p.DieShardAt <= 0:
+		return fmt.Errorf("fault: shard die time %d, want > 0", p.DieShardAt)
+	case p.BrownShard >= 0 && (p.BrownAt <= 0 || p.BrownUntil <= p.BrownAt):
+		return fmt.Errorf("fault: brownout window [%d, %d), want 0 < from < until", p.BrownAt, p.BrownUntil)
+	case p.BrownShard >= 0 && p.BrownFactor < 2:
+		return fmt.Errorf("fault: brownout factor %d, want >= 2", p.BrownFactor)
 	}
 	return nil
+}
+
+// ShardDead reports whether cluster shard `shard` has permanently failed as
+// of now.
+func (p *Plan) ShardDead(shard int, now sim.Time) bool {
+	return p.DieShard == shard && p.DieShardAt > 0 && now >= p.DieShardAt
+}
+
+// ShardBrownFactor returns the service-stretch factor for shard `shard` at
+// time now: 1 outside any brownout window, BrownFactor inside it.
+func (p *Plan) ShardBrownFactor(shard int, now sim.Time) int {
+	if p.BrownShard == shard && now >= p.BrownAt && now < p.BrownUntil {
+		return p.BrownFactor
+	}
+	return 1
 }
 
 // Stats returns a copy of the injection counters.
@@ -202,6 +243,12 @@ func (p *Plan) String() string {
 	if p.DieDisk >= 0 {
 		add(fmt.Sprintf("die=%d@%d", p.DieDisk, p.DieAt))
 	}
+	if p.DieShard >= 0 {
+		add(fmt.Sprintf("dieshard=%d@%d", p.DieShard, p.DieShardAt))
+	}
+	if p.BrownShard >= 0 {
+		add(fmt.Sprintf("brown=%d@%d-%dx%d", p.BrownShard, p.BrownAt, p.BrownUntil, p.BrownFactor))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -249,6 +296,41 @@ func Parse(spec string) (*Plan, error) {
 				f, err = strconv.ParseFloat(at, 64)
 				p.DieAt = sim.Time(f)
 			}
+		case "dieshard":
+			sh, at, found := strings.Cut(v, "@")
+			if !found {
+				return nil, fmt.Errorf("fault: dieshard=%q, want dieshard=shard@cycles", v)
+			}
+			if p.DieShard, err = strconv.Atoi(sh); err == nil {
+				var f float64
+				f, err = strconv.ParseFloat(at, 64)
+				p.DieShardAt = sim.Time(f)
+			}
+		case "brown":
+			// brown=shard@from-untilxfactor; the factor suffix is optional.
+			sh, win, found := strings.Cut(v, "@")
+			if !found {
+				return nil, fmt.Errorf("fault: brown=%q, want brown=shard@from-until[xfactor]", v)
+			}
+			if p.BrownShard, err = strconv.Atoi(sh); err != nil {
+				return nil, fmt.Errorf("fault: bad brown=%q: %v", v, err)
+			}
+			if rng, factor, hasF := strings.Cut(win, "x"); true {
+				from, until, ok := strings.Cut(rng, "-")
+				if !ok {
+					return nil, fmt.Errorf("fault: brown=%q, want a from-until window", v)
+				}
+				var f float64
+				if f, err = strconv.ParseFloat(from, 64); err == nil {
+					p.BrownAt = sim.Time(f)
+					if f, err = strconv.ParseFloat(until, 64); err == nil {
+						p.BrownUntil = sim.Time(f)
+					}
+				}
+				if err == nil && hasF {
+					p.BrownFactor, err = strconv.Atoi(factor)
+				}
+			}
 		default:
 			return nil, fmt.Errorf("fault: unknown key %q (have %s)", k, knownKeys)
 		}
@@ -265,7 +347,7 @@ func Parse(spec string) (*Plan, error) {
 	return p, nil
 }
 
-const knownKeys = "seed, rate, burst, spike, failn, die"
+const knownKeys = "seed, rate, burst, spike, failn, die, dieshard, brown"
 
 // Sweep returns n plans derived from a base spec with distinct seeds, for
 // chaos sweeps. Seeds are base.Seed, base.Seed+step, ...

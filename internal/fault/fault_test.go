@@ -1,6 +1,8 @@
 package fault
 
 import (
+	"spechint/internal/sim"
+
 	"testing"
 )
 
@@ -184,5 +186,63 @@ func TestZeroValuePlanInjectsNothing(t *testing.T) {
 	}
 	if p.DiskDead(0, 1<<40) {
 		t.Fatal("zero plan killed a disk")
+	}
+}
+
+// TestShardFaults covers the cluster-level fault classes: whole-shard death
+// and brownout windows, including spec round-trips and the zero-value guard.
+func TestShardFaults(t *testing.T) {
+	p, err := Parse("seed=3,dieshard=1@2000000000,brown=0@1000000-5000000x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "seed=3,dieshard=1@2000000000,brown=0@1000000-5000000x16" {
+		t.Errorf("round trip = %q", got)
+	}
+	if p.ShardDead(1, 1_999_999_999) {
+		t.Error("shard 1 dead before its death time")
+	}
+	if !p.ShardDead(1, 2_000_000_000) {
+		t.Error("shard 1 alive at its death time")
+	}
+	if p.ShardDead(0, 3_000_000_000) {
+		t.Error("unnamed shard 0 reported dead")
+	}
+	for now, want := range map[int64]int{
+		999_999: 1, 1_000_000: 16, 4_999_999: 16, 5_000_000: 1,
+	} {
+		if got := p.ShardBrownFactor(0, sim.Time(now)); got != want {
+			t.Errorf("brown factor at %d = %d, want %d", now, got, want)
+		}
+	}
+	if p.ShardBrownFactor(1, 2_000_000) != 1 {
+		t.Error("unnamed shard 1 browned out")
+	}
+
+	// Scientific notation, default factor.
+	q, err := Parse("dieshard=0@1.5e9,brown=1@1e6-2e6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DieShard != 0 || int64(q.DieShardAt) != 1_500_000_000 || q.BrownFactor != 8 {
+		t.Errorf("parsed %+v, want shard 0 @1.5e9, default brown factor 8", q)
+	}
+
+	for _, bad := range []string{
+		"dieshard=1",           // missing @cycles
+		"dieshard=1@0",         // zero time
+		"brown=1@5",            // missing window end
+		"brown=1@5000-400",     // empty window
+		"brown=1@1000-2000x1",  // factor < 2
+		"brown=1@1000-2000xzz", // unparsable factor
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+
+	var zero Plan
+	if zero.ShardDead(0, 1e9) || zero.ShardBrownFactor(0, 1e9) != 1 {
+		t.Error("zero-value plan injects shard faults")
 	}
 }
