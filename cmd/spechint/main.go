@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"spechint/internal/analysis"
@@ -207,22 +208,8 @@ func run(prog *vm.Program, opt spechint.Options, analyze, lint, dis bool) bool {
 	}
 
 	if !analyze && !lint {
-		out, st, err := spechint.Transform(prog, opt)
-		if err != nil {
+		if err := reportTransform(os.Stdout, os.Stderr, prog, opt, dis); err != nil {
 			fail(err)
-		}
-		fmt.Printf("transformed in %v\n", st.Elapsed)
-		fmt.Printf("  text:            %d -> %d instructions (%d -> %d bytes, +%.0f%%)\n",
-			st.OrigInstrs, st.TotalInstrs, st.OrigBytes, st.TotalBytes, st.SizeIncreasePct())
-		fmt.Printf("  COW checks:      %d inserted, %d SP-relative accesses skipped\n",
-			st.ChecksAdded, st.StackSkipped)
-		fmt.Printf("  control flow:    %d static redirects, %d dynamic-handler sites, %d recognized jump tables\n",
-			st.StaticJumps, st.DynamicJumps, st.TablesStatic)
-		fmt.Printf("  output routines: %d removed from shadow code\n", st.OutputCalls)
-		fmt.Printf("  hint sites:      %d read calls become hint generators\n", st.HintSites)
-		if dis {
-			fmt.Println()
-			fmt.Print(asm.Disassemble(out))
 		}
 		return true
 	}
@@ -241,6 +228,31 @@ func run(prog *vm.Program, opt spechint.Options, analyze, lint, dis bool) bool {
 		return len(findings) == 0
 	}
 	return true
+}
+
+// reportTransform transforms prog and writes the statistics report to w.
+// The wall-clock timing line goes to errw (stderr in main): it varies run to
+// run, and keeping it off stdout makes the report byte-identical across
+// repeated invocations — scripts can diff or checksum the output.
+func reportTransform(w, errw io.Writer, prog *vm.Program, opt spechint.Options, dis bool) error {
+	out, st, err := spechint.Transform(prog, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "transformed in %v\n", st.Elapsed)
+	fmt.Fprintf(w, "  text:            %d -> %d instructions (%d -> %d bytes, +%.0f%%)\n",
+		st.OrigInstrs, st.TotalInstrs, st.OrigBytes, st.TotalBytes, st.SizeIncreasePct())
+	fmt.Fprintf(w, "  COW checks:      %d inserted, %d SP-relative accesses skipped\n",
+		st.ChecksAdded, st.StackSkipped)
+	fmt.Fprintf(w, "  control flow:    %d static redirects, %d dynamic-handler sites, %d recognized jump tables\n",
+		st.StaticJumps, st.DynamicJumps, st.TablesStatic)
+	fmt.Fprintf(w, "  output routines: %d removed from shadow code\n", st.OutputCalls)
+	fmt.Fprintf(w, "  hint sites:      %d read calls become hint generators\n", st.HintSites)
+	if dis {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, asm.Disassemble(out))
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spechint/internal/apps"
+	"spechint/internal/spechint"
+)
+
+// Two invocations of the transform report on the same program must produce
+// byte-identical stdout: the only run-varying line (wall-clock timing) goes
+// to stderr, so scripts can diff or checksum the report.
+func TestReportTransformStdoutDeterministic(t *testing.T) {
+	bundle, err := apps.Build(apps.Agrep, apps.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := spechint.DefaultOptions()
+
+	runOnce := func() (stdout, stderr string) {
+		var out, errw bytes.Buffer
+		if err := reportTransform(&out, &errw, bundle.Original, opt, false); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), errw.String()
+	}
+
+	out1, err1 := runOnce()
+	out2, _ := runOnce()
+	if out1 != out2 {
+		t.Fatalf("stdout differs between runs:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	if strings.Contains(out1, "transformed in") {
+		t.Fatalf("timing line leaked onto stdout:\n%s", out1)
+	}
+	if !strings.Contains(err1, "transformed in") {
+		t.Fatalf("timing line missing from stderr:\n%s", err1)
+	}
+	if !strings.Contains(out1, "hint sites:") {
+		t.Fatalf("report missing statistics:\n%s", out1)
+	}
+}

@@ -49,6 +49,8 @@ func main() {
 			"run the sharded-service sweep and print its JSON to stdout (or to -json's file)")
 		clusterShards = flag.String("cluster-shards", "",
 			"comma-separated shard counts for -cluster (default 1,2,4,8,16)")
+		speedFlag = flag.Bool("speed", false,
+			"measure event-loop/VM/end-to-end wall-clock throughput and print its JSON to stdout (or to -json's file)")
 		overloadFlag = flag.Bool("overload", false,
 			"run the overload sweep (admission control, shedding, failover) and print its JSON to stdout (or to -json's file)")
 		shedFlag = flag.String("shed", "both",
@@ -112,6 +114,25 @@ func main() {
 		out, err := bench.ClusterJSON(scale, shards)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tipbench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *jsonFlag != "" {
+			if err := os.WriteFile(*jsonFlag, out, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonFlag)
+			return
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *speedFlag {
+		out, err := bench.SpeedJSONBytes(scale, *scaleFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: speed: %v\n", err)
 			os.Exit(1)
 		}
 		out = append(out, '\n')

@@ -149,7 +149,13 @@ func runTripleGrid(n int, spec func(i int) (apps.App, apps.Scale, Mutator)) ([]*
 }
 
 // Improvement returns the percent reduction in elapsed time of st vs base.
+// A zero-elapsed base (possible under degenerate workloads or a fault plan
+// that kills a run instantly) returns 0 rather than ±Inf/NaN — non-finite
+// floats would make encoding/json reject whole sweep exports.
 func Improvement(base, st *core.RunStats) float64 {
+	if base.Elapsed == 0 {
+		return 0
+	}
 	return 100 * (1 - float64(st.Elapsed)/float64(base.Elapsed))
 }
 

@@ -48,6 +48,19 @@ func TestImprovement(t *testing.T) {
 	}
 }
 
+func TestImprovementZeroBase(t *testing.T) {
+	// A zero-elapsed baseline must yield 0, not -Inf/NaN: non-finite values
+	// poison every JSON export that embeds the percentage.
+	zero := &core.RunStats{Elapsed: 0}
+	st := &core.RunStats{Elapsed: 50}
+	if got := Improvement(zero, st); got != 0 {
+		t.Fatalf("Improvement(zero base) = %v, want 0", got)
+	}
+	if got := Improvement(zero, zero); got != 0 {
+		t.Fatalf("Improvement(zero, zero) = %v, want 0", got)
+	}
+}
+
 // Each experiment must run at test scale and produce a non-empty table
 // containing every benchmark name it covers.
 func TestAllExperimentsRunAtTestScale(t *testing.T) {
@@ -73,6 +86,12 @@ func TestAllExperimentsRunAtTestScale(t *testing.T) {
 				}
 			case "overload": // synthetic population, no paper apps
 				for _, want := range []string{"shed-off", "shed-on", "failover"} {
+					if !strings.Contains(out, want) {
+						t.Errorf("%s output missing %q rows:\n%s", name, want, out)
+					}
+				}
+			case "speed": // simulator self-check, no paper apps
+				for _, want := range []string{"steady-state", "burst", "vm dispatch"} {
 					if !strings.Contains(out, want) {
 						t.Errorf("%s output missing %q rows:\n%s", name, want, out)
 					}

@@ -65,6 +65,7 @@ var Registry = map[string]Experiment{
 	"join":       {Name: "join", Desc: "Postgres join improvement vs selectivity (Table 1 extension)", Run: scaleExp(JoinSelectivity), Heavy: true},
 	"multi":      {Name: "multi", Desc: "N-process shared-TIP multiprogramming: makespan, throughput, fairness", Run: scaleExp(Multi), Heavy: true},
 	"faults":     {Name: "faults", Desc: "graceful degradation under injected disk faults (robustness extension)", Run: scaleExp(Faults), Heavy: true},
+	"speed":      {Name: "speed", Desc: "simulator fast-path self-check: free-listed events, tick batching, pre-decoded dispatch", Run: scaleExp(Speed)},
 	"static":     {Name: "static", Desc: "statically synthesized hints vs original and manual (static-analysis extension)", Run: scaleExp(Static)},
 	"cluster":    {Name: "cluster", Desc: "sharded TIP service: throughput, latency tails, fairness vs shard count", Run: scaleExp(Cluster), Heavy: true},
 	"overload":   {Name: "overload", Desc: "overload-safe cluster: admission control, load shedding, shard failover", Run: scaleExp(Overload), Heavy: true},

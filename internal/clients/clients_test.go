@@ -141,9 +141,12 @@ func TestValidate(t *testing.T) {
 		func(c *Config) { c.N = 0 },
 		func(c *Config) { c.Sessions = 0 },
 		func(c *Config) { c.Files = 0 },
+		func(c *Config) { c.FileBlocks = 0 },
 		func(c *Config) { c.BlockSize = 0 },
+		func(c *Config) { c.SessionBlocks = 0 },
 		func(c *Config) { c.ReadBlocks = 0 },
 		func(c *Config) { c.ArrivalMean = 0 },
+		func(c *Config) { c.ThinkMean = -1 },
 		func(c *Config) { c.ZipfS = 1 },
 		func(c *Config) { c.ZipfV = 0.5 },
 	}

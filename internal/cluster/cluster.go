@@ -312,7 +312,7 @@ func (c *Cluster) Run() (*Result, error) {
 		c.clk.Schedule(p.DieShardAt+sim.Time(c.cfg.DetectCycles), func() { c.ring.MarkDead(id) })
 	}
 	for c.remaining > 0 {
-		if !c.clk.RunNext() {
+		if !c.clk.RunTick() {
 			return nil, fmt.Errorf("cluster: event queue drained with %d sessions unfinished", c.remaining)
 		}
 		if c.cfg.MaxCycles > 0 && int64(c.clk.Now()) > c.cfg.MaxCycles {

@@ -109,7 +109,7 @@ type shard struct {
 	served map[SessionKey]bool // sessions with >= 1 part dispatched here (priority class)
 
 	ingest  []pendingHint
-	flushEv *sim.Event
+	flushEv sim.Handle
 
 	// Admission/service state (active when cfg.MaxInflight > 0).
 	hotQ     []partReq // parts of sessions already in flight here
@@ -428,10 +428,8 @@ func (s *shard) die() {
 		}
 	}
 	s.hotQ, s.coldQ = nil, nil
-	if s.flushEv != nil {
-		s.clk.Cancel(s.flushEv)
-		s.flushEv = nil
-	}
+	s.clk.Cancel(s.flushEv)
+	s.flushEv = sim.Handle{}
 	s.ingest = nil
 }
 
@@ -457,9 +455,9 @@ func (s *shard) serveHints(key SessionKey, segs []HintSeg) {
 			s.flush()
 		}
 	}
-	if s.flushEv == nil && len(s.ingest) > 0 {
+	if !s.clk.Pending(s.flushEv) && len(s.ingest) > 0 {
 		s.flushEv = s.clk.After(sim.Time(s.cfg.HintBatchCycles), func() {
-			s.flushEv = nil
+			s.flushEv = sim.Handle{}
 			s.flush()
 		})
 	}
@@ -469,10 +467,8 @@ func (s *shard) serveHints(key SessionKey, segs []HintSeg) {
 // segments from one session and file into single disclosures — the batching
 // dividend: B small hint RPCs become one TIPIO_SEG-sized call.
 func (s *shard) flush() {
-	if s.flushEv != nil {
-		s.clk.Cancel(s.flushEv)
-		s.flushEv = nil
-	}
+	s.clk.Cancel(s.flushEv)
+	s.flushEv = sim.Handle{}
 	if len(s.ingest) == 0 {
 		return
 	}

@@ -42,9 +42,10 @@ func (s *System) Run() (*RunStats, error) {
 			runOrig = true
 		case s.SpecRunnable():
 		default:
-			// Both threads idle: advance to the next event (a disk
-			// completion that will wake the original thread).
-			if !s.clk.RunNext() {
+			// Both threads idle: advance to the next event tick (disk
+			// completions that will wake the original thread). RunTick
+			// drains every event due at that instant in one heap pass.
+			if !s.clk.RunTick() {
 				return nil, s.Diagnose("deadlock — event queue drained with the original thread blocked")
 			}
 			continue
@@ -54,7 +55,7 @@ func (s *System) Run() (*RunStats, error) {
 		if at, ok := s.clk.PeekTime(); ok {
 			budget = int64(at - s.clk.Now())
 			if budget <= 0 {
-				s.clk.RunNext()
+				s.clk.RunTick()
 				continue
 			}
 		}

@@ -232,7 +232,7 @@ func (g *Group) Run() (*Result, error) {
 		if at, ok := g.sub.Clk.PeekTime(); ok {
 			gap := int64(at - g.sub.Clk.Now())
 			if gap <= 0 {
-				g.sub.Clk.RunNext()
+				g.sub.Clk.RunTick()
 				continue
 			}
 			if gap < budget {
@@ -255,7 +255,7 @@ func (g *Group) Run() (*Result, error) {
 			}
 			continue
 		}
-		if !g.sub.Clk.RunNext() {
+		if !g.sub.Clk.RunTick() {
 			return nil, g.diagnoseDeadlock()
 		}
 	}

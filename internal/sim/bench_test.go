@@ -3,9 +3,9 @@ package sim
 import "testing"
 
 // BenchmarkQueueScheduleRun measures the steady-state event-queue cycle:
-// one Schedule (which allocates the Event) followed by one pop+run. The pop
-// half must stay allocation-free — the only alloc per iteration is the
-// Event itself.
+// one Schedule followed by one pop+run. With the slot arena's free list
+// warm, the whole cycle is allocation-free — Schedule recycles a slot
+// instead of allocating an Event.
 func BenchmarkQueueScheduleRun(b *testing.B) {
 	q := NewQueue()
 	fn := func() {}
@@ -33,7 +33,9 @@ func BenchmarkQueueRunNext(b *testing.B) {
 }
 
 // BenchmarkQueueDeepHeap exercises sift paths on a standing 1k-event heap,
-// the regime the disk array and thread scheduler keep the queue in.
+// the regime the disk array and thread scheduler keep the queue in. Sift
+// comparisons touch only the contiguous value-entry heap — no pointer
+// chasing into the arena.
 func BenchmarkQueueDeepHeap(b *testing.B) {
 	q := NewQueue()
 	fn := func() {}
@@ -45,6 +47,24 @@ func BenchmarkQueueDeepHeap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q.Schedule(q.Now()+Time(i%61), fn)
 		q.RunNext()
+	}
+}
+
+// BenchmarkQueueRunTick measures the batched drain: 64 simultaneous events
+// scheduled, then popped in one RunTick pass.
+func BenchmarkQueueRunTick(b *testing.B) {
+	q := NewQueue()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	ticks := b.N/64 + 1
+	for t := 0; t < ticks; t++ {
+		at := q.Now() + 10
+		for j := 0; j < 64; j++ {
+			q.Schedule(at, fn)
+		}
+		for q.RunTick() {
+		}
 	}
 }
 
@@ -62,5 +82,48 @@ func TestRunNextZeroAlloc(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Fatalf("RunNext allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestScheduleRunSteadyZeroAlloc pins the full steady-state cycle at 0
+// allocs/op: once the free list is warm and the heap has reached its
+// standing capacity, Schedule must recycle slots rather than allocate.
+func TestScheduleRunSteadyZeroAlloc(t *testing.T) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < 512; i++ { // grow arena + heap to standing capacity
+		q.Schedule(Time(i%97), fn)
+	}
+	for i := 0; i < 512; i++ { // warm the free list
+		q.RunNext()
+	}
+	avg := testing.AllocsPerRun(512, func() {
+		q.Schedule(q.Now()+Time(7), fn)
+		q.RunNext()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Schedule+RunNext allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestRunTickZeroAlloc pins the batched path: draining a warm queue tick by
+// tick must not allocate either.
+func TestRunTickZeroAlloc(t *testing.T) {
+	q := NewQueue()
+	fn := func() {}
+	for i := 0; i < 256; i++ { // establish arena + free-list capacity
+		q.Schedule(Time(i%31), fn)
+	}
+	for q.RunTick() {
+	}
+	avg := testing.AllocsPerRun(128, func() {
+		at := q.Now() + 5
+		for j := 0; j < 8; j++ {
+			q.Schedule(at, fn)
+		}
+		q.RunTick()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state RunTick cycle allocates %.2f objects/op, want 0", avg)
 	}
 }

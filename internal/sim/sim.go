@@ -6,6 +6,13 @@
 // All timing in the system — disk service, thread scheduling, prefetch
 // completion — is expressed as events on a single Queue, which makes every
 // experiment reproducible cycle-for-cycle.
+//
+// The queue is built for throughput: callbacks live in a slot arena recycled
+// through a free list (steady-state Schedule/RunNext allocate nothing), the
+// heap orders small value entries so sift comparisons never chase pointers,
+// and RunTick drains a whole virtual-time tick in one call. Handles carry a
+// generation counter, so cancelling an event that already ran — even if its
+// slot has since been recycled — is always a safe no-op.
 package sim
 
 import (
@@ -15,24 +22,40 @@ import (
 // Time is a point in virtual time, measured in CPU cycles.
 type Time int64
 
-// Event is a scheduled callback. Events are ordered by time; events scheduled
-// for the same time run in the order they were scheduled.
-type Event struct {
-	at    Time
-	seq   uint64
-	index int // heap index; -1 when not queued
-	fn    func()
+// Handle identifies a scheduled event. The zero Handle is inert: Cancel and
+// Pending treat it as already-run. Handles are generation-checked, so a
+// stale Handle (its event ran or was cancelled, and its internal slot may
+// have been reused for a different event) can never affect the new event.
+type Handle struct {
+	slot int32
+	gen  uint32
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// slot is an arena cell holding a scheduled callback. gen starts at 1 and is
+// bumped every time the slot is released, invalidating outstanding Handles.
+type slot struct {
+	fn  func()
+	gen uint32
+}
+
+// entry is a heap element: 24 bytes, no pointers, so sift operations stay in
+// one contiguous slice and the comparator never touches the arena.
+type entry struct {
+	at   Time
+	seq  uint64
+	slot int32
+	gen  uint32
+}
 
 // Queue is a virtual clock plus a pending-event heap. The zero value is not
 // ready to use; call NewQueue.
 type Queue struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now   Time
+	seq   uint64
+	live  int // scheduled and not yet run or cancelled
+	heap  []entry
+	slots []slot
+	free  []int32
 }
 
 // NewQueue returns an empty event queue with the clock at zero.
@@ -44,60 +67,145 @@ func NewQueue() *Queue {
 func (q *Queue) Now() Time { return q.now }
 
 // Len returns the number of pending events.
-func (q *Queue) Len() int { return len(q.events) }
+func (q *Queue) Len() int { return q.live }
 
 // Schedule registers fn to run at absolute time at. Scheduling in the past
 // panics: it indicates a simulation bug, not a recoverable condition.
-func (q *Queue) Schedule(at Time, fn func()) *Event {
+func (q *Queue) Schedule(at Time, fn func()) Handle {
 	if at < q.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, q.now))
 	}
+	var s int32
+	if n := len(q.free); n > 0 {
+		s = q.free[n-1]
+		q.free = q.free[:n-1]
+		q.slots[s].fn = fn
+	} else {
+		q.slots = append(q.slots, slot{fn: fn, gen: 1})
+		s = int32(len(q.slots) - 1)
+	}
+	gen := q.slots[s].gen
 	q.seq++
-	e := &Event{at: at, seq: q.seq, index: len(q.events), fn: fn}
-	q.events = append(q.events, e)
-	q.events.siftUp(e.index)
-	return e
+	q.heap = append(q.heap, entry{at: at, seq: q.seq, slot: s, gen: gen})
+	q.siftUp(len(q.heap) - 1)
+	q.live++
+	return Handle{slot: s, gen: gen}
 }
 
 // After schedules fn to run delay cycles from now.
-func (q *Queue) After(delay Time, fn func()) *Event {
+func (q *Queue) After(delay Time, fn func()) Handle {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
 	return q.Schedule(q.now+delay, fn)
 }
 
-// Cancel removes a pending event. Cancelling an event that already ran or was
-// already cancelled is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+// Pending reports whether h refers to an event that has not yet run or been
+// cancelled. The zero Handle is never pending.
+func (q *Queue) Pending(h Handle) bool {
+	return h.gen != 0 && int(h.slot) < len(q.slots) && q.slots[h.slot].gen == h.gen
+}
+
+// Cancel removes a pending event. Cancelling an event that already ran or
+// was already cancelled is a no-op, even if the event's slot has since been
+// recycled for a newer event: the generation check makes stale handles
+// inert. Cancellation is lazy — the heap entry remains as a tombstone and is
+// discarded when it reaches the root — so Cancel itself is O(1).
+func (q *Queue) Cancel(h Handle) {
+	if !q.Pending(h) {
 		return
 	}
-	q.events.remove(e.index)
-	e.index = -1
+	sl := &q.slots[h.slot]
+	sl.fn = nil
+	sl.gen++
+	if sl.gen == 0 { // never hand out gen 0: it marks the inert zero Handle
+		sl.gen = 1
+	}
+	q.live--
+	// The slot returns to the free list when its tombstone pops; until then
+	// it must stay out of circulation so the stale heap entry cannot alias a
+	// recycled slot with a matching generation.
+}
+
+// release retires a slot whose event just ran: invalidate outstanding
+// handles, drop the callback so the GC does not retain its captures, and
+// recycle the slot. Called before the event's fn runs, so fn can immediately
+// reuse the slot for new Schedules.
+func (q *Queue) release(s int32) {
+	sl := &q.slots[s]
+	sl.fn = nil
+	sl.gen++
+	if sl.gen == 0 {
+		sl.gen = 1
+	}
+	q.free = append(q.free, s)
+}
+
+// pruneRoot pops cancelled entries off the heap root, recycling their slots.
+func (q *Queue) pruneRoot() {
+	for len(q.heap) > 0 {
+		e := &q.heap[0]
+		if q.slots[e.slot].gen == e.gen {
+			return
+		}
+		s := e.slot
+		q.popRoot()
+		q.free = append(q.free, s)
+	}
 }
 
 // PeekTime returns the time of the earliest pending event.
 func (q *Queue) PeekTime() (Time, bool) {
-	if len(q.events) == 0 {
+	q.pruneRoot()
+	if len(q.heap) == 0 {
 		return 0, false
 	}
-	return q.events[0].at, true
+	return q.heap[0].at, true
 }
 
 // RunNext pops and runs the earliest pending event, advancing the clock to
-// its time. It reports whether an event ran. The pop itself is
-// allocation-free: the heap is maintained inline on the backing slice, with
-// no interface round-trips (see BenchmarkQueueScheduleRun).
+// its time. It reports whether an event ran. The pop is allocation-free: the
+// heap is maintained inline over value entries and the callback slot is
+// recycled through the free list (see BenchmarkQueueScheduleRun).
 func (q *Queue) RunNext() bool {
-	if len(q.events) == 0 {
+	q.pruneRoot()
+	if len(q.heap) == 0 {
 		return false
 	}
-	e := q.events.remove(0)
-	e.index = -1
+	e := q.heap[0]
+	q.popRoot()
+	fn := q.slots[e.slot].fn
+	q.release(e.slot)
+	q.live--
 	q.now = e.at
-	e.fn()
+	fn()
 	return true
+}
+
+// RunTick advances the clock to the earliest pending event and runs every
+// event due at exactly that time — including events the callbacks schedule
+// for the same instant — in one pass. It reports whether any event ran.
+// Semantically it equals calling RunNext until PeekTime moves past the
+// tick, but batches the work per clock advance.
+func (q *Queue) RunTick() bool {
+	q.pruneRoot()
+	if len(q.heap) == 0 {
+		return false
+	}
+	t := q.heap[0].at
+	q.now = t
+	for {
+		e := q.heap[0]
+		q.popRoot()
+		fn := q.slots[e.slot].fn
+		q.release(e.slot)
+		q.live--
+		fn()
+		q.pruneRoot()
+		if len(q.heap) == 0 || q.heap[0].at != t {
+			return true
+		}
+	}
 }
 
 // AdvanceTo moves the clock forward to t, running every event due at or
@@ -106,7 +214,11 @@ func (q *Queue) AdvanceTo(t Time) {
 	if t < q.now {
 		panic(fmt.Sprintf("sim: advance to %d before now %d", t, q.now))
 	}
-	for len(q.events) > 0 && q.events[0].at <= t {
+	for {
+		q.pruneRoot()
+		if len(q.heap) == 0 || q.heap[0].at > t {
+			break
+		}
 		q.RunNext()
 	}
 	q.now = t
@@ -130,71 +242,73 @@ func (q *Queue) Drain() int {
 	return n
 }
 
-// eventHeap is a binary min-heap over (at, seq) — simultaneous events run
-// FIFO — maintained inline rather than through container/heap. This is the
-// hottest data structure in the simulator (every disk completion, thread
-// wakeup and prefetch lands here), and the inline form keeps pops free of
-// interface boxing and indirect heap.Interface calls.
-type eventHeap []*Event
+// The heap is a d-ary min-heap over (at, seq) — simultaneous events run
+// FIFO — maintained inline over value entries rather than through
+// container/heap. This is the hottest data structure in the simulator
+// (every disk completion, thread wakeup and prefetch lands here); the value
+// form keeps sifts free of interface boxing, pointer chasing and
+// index-writeback into the arena.
 
-func (h eventHeap) less(i, j int) bool {
+// heapArity is the branching factor. Binary measured fastest for this
+// workload's heap depths (wider arities halve sift depth but lose more to
+// the extra per-level comparisons).
+const heapArity = 2
+
+func (q *Queue) less(i, j int) bool {
+	h := q.heap
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h eventHeap) siftUp(i int) {
+func (q *Queue) siftUp(i int) {
+	h := q.heap
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !q.less(i, parent) {
 			return
 		}
-		h.swap(i, parent)
+		h[i], h[parent] = h[parent], h[i]
 		i = parent
 	}
 }
 
-func (h eventHeap) siftDown(i int) {
+func (q *Queue) siftDown(i int) {
+	h := q.heap
 	n := len(h)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := heapArity*i + 1
+		if first >= n {
 			return
 		}
-		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
+		last := first + heapArity
+		if last > n {
+			last = n
 		}
-		if !h.less(least, i) {
+		least := first
+		for c := first + 1; c < last; c++ {
+			if q.less(c, least) {
+				least = c
+			}
+		}
+		if !q.less(least, i) {
 			return
 		}
-		h.swap(i, least)
+		h[i], h[least] = h[least], h[i]
 		i = least
 	}
 }
 
-// remove detaches and returns the event at heap index i, restoring heap
-// order. The vacated tail slot is nilled so the garbage collector does not
-// retain run events through the backing array.
-func (h *eventHeap) remove(i int) *Event {
-	old := *h
-	n := len(old) - 1
-	e := old[i]
-	if i != n {
-		old.swap(i, n)
+// popRoot removes the heap root, restoring heap order.
+func (q *Queue) popRoot() {
+	h := q.heap
+	n := len(h) - 1
+	if n > 0 {
+		h[0] = h[n]
 	}
-	old[n] = nil
-	*h = old[:n]
-	if i != n {
-		(*h).siftDown(i)
-		(*h).siftUp(i)
+	q.heap = h[:n]
+	if n > 1 {
+		q.siftDown(0)
 	}
-	return e
 }

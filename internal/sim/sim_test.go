@@ -69,7 +69,7 @@ func TestCancelPreventsRun(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	q := NewQueue()
 	var got []int
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, q.Schedule(Time(i), func() { got = append(got, i) }))
@@ -165,6 +165,160 @@ func TestPeekTime(t *testing.T) {
 	}
 }
 
+func TestPendingLifecycle(t *testing.T) {
+	q := NewQueue()
+	h := q.Schedule(10, func() {})
+	if !q.Pending(h) {
+		t.Fatal("freshly scheduled event not pending")
+	}
+	q.RunNext()
+	if q.Pending(h) {
+		t.Fatal("run event still pending")
+	}
+	h2 := q.Schedule(20, func() {})
+	q.Cancel(h2)
+	if q.Pending(h2) {
+		t.Fatal("cancelled event still pending")
+	}
+	if q.Pending(Handle{}) {
+		t.Fatal("zero Handle reported pending")
+	}
+}
+
+// A handle that outlives its event must stay inert even after the event's
+// internal slot is recycled for a newer event: Cancel through the stale
+// handle must not disturb the new occupant.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	q := NewQueue()
+	stale := q.Schedule(10, func() {})
+	q.RunNext() // slot released to the free list
+	ran := false
+	fresh := q.Schedule(20, func() { ran = true }) // recycles the slot
+	q.Cancel(stale)
+	if !q.Pending(fresh) {
+		t.Fatal("stale Cancel killed the recycled slot's new event")
+	}
+	q.Drain()
+	if !ran {
+		t.Fatal("new event did not run after stale Cancel")
+	}
+	// Same story for a handle invalidated by Cancel rather than by running.
+	c := q.Schedule(q.Now()+5, func() {})
+	q.Cancel(c)
+	q.Drain() // pops the tombstone, recycling the slot
+	ran2 := false
+	fresh2 := q.Schedule(q.Now()+5, func() { ran2 = true })
+	q.Cancel(c)
+	if !q.Pending(fresh2) {
+		t.Fatal("doubly-stale Cancel killed a recycled slot")
+	}
+	q.Drain()
+	if !ran2 {
+		t.Fatal("event after cancel-recycle did not run")
+	}
+}
+
+func TestCancelZeroHandleNoop(t *testing.T) {
+	q := NewQueue()
+	q.Cancel(Handle{}) // must not panic on an empty queue
+	ran := false
+	q.Schedule(1, func() { ran = true })
+	q.Cancel(Handle{})
+	q.Drain()
+	if !ran {
+		t.Fatal("zero-Handle Cancel disturbed a pending event")
+	}
+}
+
+// RunTick must run every event due at the earliest time — including events
+// scheduled for that same instant by the callbacks — then stop.
+func TestRunTickBatchesOneInstant(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	q.Schedule(10, func() {
+		got = append(got, 1)
+		q.After(0, func() { got = append(got, 3) }) // same tick, runs this tick
+		q.After(5, func() { got = append(got, 4) }) // next tick, must not run
+	})
+	q.Schedule(10, func() { got = append(got, 2) })
+	q.Schedule(15, func() { got = append(got, 5) })
+	if !q.RunTick() {
+		t.Fatal("RunTick reported no events")
+	}
+	if q.Now() != 10 {
+		t.Fatalf("Now() = %d, want 10", q.Now())
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("after tick got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after tick got %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", q.Len())
+	}
+	if !q.RunTick() { // both remaining events are due at 15
+		t.Fatal("second RunTick reported no events")
+	}
+	if len(got) != 5 || q.Now() != 15 {
+		t.Fatalf("after second tick got %v at %d, want 5 events at 15", got, q.Now())
+	}
+	if q.RunTick() {
+		t.Fatal("RunTick on empty queue reported events")
+	}
+}
+
+// RunTick must skip cancelled events, including ones cancelled by an earlier
+// callback within the same tick.
+func TestRunTickSkipsCancelled(t *testing.T) {
+	q := NewQueue()
+	var got []int
+	var h2 Handle
+	q.Schedule(10, func() {
+		got = append(got, 1)
+		q.Cancel(h2)
+	})
+	h2 = q.Schedule(10, func() { got = append(got, 2) })
+	q.Schedule(10, func() { got = append(got, 3) })
+	q.RunTick()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+}
+
+// Len must count only live events, not cancellation tombstones.
+func TestLenExcludesTombstones(t *testing.T) {
+	q := NewQueue()
+	h := q.Schedule(10, func() {})
+	q.Schedule(20, func() {})
+	q.Cancel(h)
+	if q.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", q.Len())
+	}
+	q.Drain()
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after drain, want 0", q.Len())
+	}
+}
+
+// PeekTime must see through tombstones at the heap root.
+func TestPeekTimeSkipsCancelledRoot(t *testing.T) {
+	q := NewQueue()
+	h := q.Schedule(10, func() {})
+	q.Schedule(20, func() {})
+	q.Cancel(h)
+	at, ok := q.PeekTime()
+	if !ok || at != 20 {
+		t.Fatalf("PeekTime = %d,%v want 20,true", at, ok)
+	}
+}
+
 // Property: for any set of non-negative delays, events fire in nondecreasing
 // time order and the clock ends at the max scheduled time.
 func TestPropertyEventOrdering(t *testing.T) {
@@ -201,7 +355,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 		count := int(n%64) + 1
 		q := NewQueue()
 		ran := make([]bool, count)
-		events := make([]*Event, count)
+		events := make([]Handle, count)
 		for i := 0; i < count; i++ {
 			i := i
 			events[i] = q.Schedule(Time(i*7%13), func() { ran[i] = true })

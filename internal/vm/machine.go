@@ -196,10 +196,13 @@ func (t *Thread) Wake(result int64) {
 // Machine executes a (possibly transformed) program.
 type Machine struct {
 	text []Instr
+	dec  []dInstr // text pre-decoded for dispatch (see decode.go)
 	mem  []byte
 	prog *Program
 	cfg  Config
 	os   OS
+
+	cowCopyCost int64 // cycles charged per freshly-copied COW region
 
 	brk     int64 // original thread's heap break
 	specBrk int64 // speculating thread's private break
@@ -225,12 +228,15 @@ func NewMachine(prog *Program, os OS, cfg Config) (*Machine, error) {
 	total := cfg.MemSize + cfg.StackSize + cfg.SpecHeapSize
 	m := &Machine{
 		text:     prog.Text,
+		dec:      decodeProgram(prog.Text, cfg.Cost),
 		mem:      make([]byte, total),
 		prog:     prog,
 		cfg:      cfg,
 		os:       os,
 		brk:      (prog.DataSize + 7) &^ 7,
 		pageLast: make([]int64, (total+cfg.PageBytes-1)/cfg.PageBytes),
+
+		cowCopyCost: cfg.Cost.CopyPer8B * int64(cfg.COWRegion) / 8,
 	}
 	m.specBrk = cfg.MemSize + cfg.StackSize
 	copy(m.mem, prog.Data)
@@ -448,11 +454,17 @@ func (m *Machine) finish(t *Thread, used int64, r StopReason) (int64, StopReason
 
 // Run executes t for at most budget cycles, returning the cycles actually
 // consumed and why execution stopped. Run panics if t is not Ready.
+//
+// The inner loop dispatches over the pre-decoded instruction stream built at
+// load time (see decode.go): the class switch is dense, so it compiles to a
+// jump table, per-instruction costs and operand variants are already
+// resolved, and the PC is kept in a register-friendly local that is synced
+// back to the Thread at every exit and around syscalls (the OS may
+// reposition a thread mid-slice during the restart protocol).
 func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 	if t.State != Ready {
 		panic(fmt.Sprintf("vm: Run of %s thread in state %v", t.Name, t.State))
 	}
-	cost := m.cfg.Cost
 	var used int64
 
 	if t.PendingCycles > 0 {
@@ -463,226 +475,255 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 		}
 	}
 
+	dec := m.dec
+	mem := m.mem
+	regs := &t.Regs
+	pc := t.PC
+
 	for used < budget {
-		if t.PC < 0 || t.PC >= int64(len(m.text)) {
-			return m.finish(t, used, m.fault(t, "vm: PC %d outside text", t.PC))
+		if pc < 0 || pc >= int64(len(dec)) {
+			t.PC = pc
+			return m.finish(t, used, m.fault(t, "vm: PC %d outside text", pc))
 		}
-		ins := m.text[t.PC]
-		c := cost.Default
+		ins := &dec[pc]
+		c := ins.cost
 		t.Instrs++
-		nextPC := t.PC + 1
+		nextPC := pc + 1
 
-		switch ins.Op {
-		case NOP:
+		switch ins.class {
+		case dNOP:
 
-		case ADD:
-			t.set(ins.Rd, t.Regs[ins.Rs1]+t.Regs[ins.Rs2])
-		case SUB:
-			t.set(ins.Rd, t.Regs[ins.Rs1]-t.Regs[ins.Rs2])
-		case MUL:
-			c = cost.Mul
-			t.set(ins.Rd, t.Regs[ins.Rs1]*t.Regs[ins.Rs2])
-		case DIV, MOD:
-			c = cost.Div
-			d := t.Regs[ins.Rs2]
+		case dADD:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] + regs[ins.rs2]
+			}
+		case dSUB:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] - regs[ins.rs2]
+			}
+		case dMUL:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] * regs[ins.rs2]
+			}
+		case dDIV, dMOD:
+			d := regs[ins.rs2]
 			if d == 0 {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: division by zero at PC %d", t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: division by zero at PC %d", pc))
 			}
-			if ins.Op == DIV {
-				t.set(ins.Rd, t.Regs[ins.Rs1]/d)
+			if ins.class == dDIV {
+				t.set(ins.rd, regs[ins.rs1]/d)
 			} else {
-				t.set(ins.Rd, t.Regs[ins.Rs1]%d)
+				t.set(ins.rd, regs[ins.rs1]%d)
 			}
-		case AND:
-			t.set(ins.Rd, t.Regs[ins.Rs1]&t.Regs[ins.Rs2])
-		case OR:
-			t.set(ins.Rd, t.Regs[ins.Rs1]|t.Regs[ins.Rs2])
-		case XOR:
-			t.set(ins.Rd, t.Regs[ins.Rs1]^t.Regs[ins.Rs2])
-		case SHL:
-			t.set(ins.Rd, t.Regs[ins.Rs1]<<uint64(t.Regs[ins.Rs2]&63))
-		case SHR:
-			t.set(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(t.Regs[ins.Rs2]&63)))
-		case SLT:
+		case dAND:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] & regs[ins.rs2]
+			}
+		case dOR:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] | regs[ins.rs2]
+			}
+		case dXOR:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] ^ regs[ins.rs2]
+			}
+		case dSHL:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] << uint64(regs[ins.rs2]&63)
+			}
+		case dSHR:
+			if ins.rd != R0 {
+				regs[ins.rd] = int64(uint64(regs[ins.rs1]) >> uint64(regs[ins.rs2]&63))
+			}
+		case dSLT:
 			v := int64(0)
-			if t.Regs[ins.Rs1] < t.Regs[ins.Rs2] {
+			if regs[ins.rs1] < regs[ins.rs2] {
 				v = 1
 			}
-			t.set(ins.Rd, v)
+			t.set(ins.rd, v)
 
-		case ADDI:
-			t.set(ins.Rd, t.Regs[ins.Rs1]+ins.Imm)
-		case ANDI:
-			t.set(ins.Rd, t.Regs[ins.Rs1]&ins.Imm)
-		case ORI:
-			t.set(ins.Rd, t.Regs[ins.Rs1]|ins.Imm)
-		case XORI:
-			t.set(ins.Rd, t.Regs[ins.Rs1]^ins.Imm)
-		case SHLI:
-			t.set(ins.Rd, t.Regs[ins.Rs1]<<uint64(ins.Imm&63))
-		case SHRI:
-			t.set(ins.Rd, int64(uint64(t.Regs[ins.Rs1])>>uint64(ins.Imm&63)))
-		case SLTI:
+		case dADDI:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] + ins.imm
+			}
+		case dANDI:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] & ins.imm
+			}
+		case dORI:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] | ins.imm
+			}
+		case dXORI:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] ^ ins.imm
+			}
+		case dSHLI:
+			if ins.rd != R0 {
+				regs[ins.rd] = regs[ins.rs1] << uint64(ins.imm&63)
+			}
+		case dSHRI:
+			if ins.rd != R0 {
+				regs[ins.rd] = int64(uint64(regs[ins.rs1]) >> uint64(ins.imm&63))
+			}
+		case dSLTI:
 			v := int64(0)
-			if t.Regs[ins.Rs1] < ins.Imm {
+			if regs[ins.rs1] < ins.imm {
 				v = 1
 			}
-			t.set(ins.Rd, v)
-		case MOVI:
-			t.set(ins.Rd, ins.Imm)
+			t.set(ins.rd, v)
+		case dMOVI:
+			if ins.rd != R0 {
+				regs[ins.rd] = ins.imm
+			}
 
-		case LDB, LDW:
+		case dLD:
 			t.Loads++
-			addr := t.Regs[ins.Rs1] + ins.Imm
+			addr := regs[ins.rs1] + ins.imm
 			size := int64(1)
-			if ins.Op == LDW {
+			if ins.flags&dfWord != 0 {
 				size = 8
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: load at %d out of range (PC %d)", addr, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: load at %d out of range (PC %d)", addr, pc))
 			}
 			m.touchPage(addr)
-			if ins.Op == LDB {
-				t.set(ins.Rd, int64(m.mem[addr]))
+			if ins.flags&dfWord == 0 {
+				t.set(ins.rd, int64(mem[addr]))
 			} else {
-				t.set(ins.Rd, int64(binary.LittleEndian.Uint64(m.mem[addr:])))
+				t.set(ins.rd, int64(binary.LittleEndian.Uint64(mem[addr:])))
 			}
 
-		case LDBS, LDWS:
+		case dLDS:
 			t.Loads++
-			c += cost.LoadCheck
-			addr := t.Regs[ins.Rs1] + ins.Imm
+			addr := regs[ins.rs1] + ins.imm
 			size := int64(1)
-			if ins.Op == LDWS {
+			if ins.flags&dfWord != 0 {
 				size = 8
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: spec load at %d out of range (PC %d)", addr, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: spec load at %d out of range (PC %d)", addr, pc))
 			}
 			m.touchPage(addr)
-			if ins.Op == LDBS {
-				t.set(ins.Rd, int64(t.Cow.LoadByte(m.mem, addr)))
+			if ins.flags&dfWord == 0 {
+				t.set(ins.rd, int64(t.Cow.LoadByte(mem, addr)))
 			} else {
-				t.set(ins.Rd, t.Cow.LoadWord(m.mem, addr))
+				t.set(ins.rd, t.Cow.LoadWord(mem, addr))
 			}
 
-		case STB, STW:
+		case dST:
 			t.Stores++
-			addr := t.Regs[ins.Rs1] + ins.Imm
+			addr := regs[ins.rs1] + ins.imm
 			size := int64(1)
-			if ins.Op == STW {
+			if ins.flags&dfWord != 0 {
 				size = 8
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: store at %d out of range (PC %d)", addr, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: store at %d out of range (PC %d)", addr, pc))
 			}
 			if t.Mode == Speculative && !m.inSpecPrivate(addr, size) {
 				// Shadow code must never store to shared memory unchecked;
 				// reaching here means speculation computed a wild address
 				// from stale data. Fault, as the SFI checks would.
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: unchecked spec store at %d (PC %d)", addr, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: unchecked spec store at %d (PC %d)", addr, pc))
 			}
 			m.touchPage(addr)
-			if ins.Op == STB {
-				m.mem[addr] = byte(t.Regs[ins.Rs2])
+			if ins.flags&dfWord == 0 {
+				mem[addr] = byte(regs[ins.rs2])
 			} else {
-				binary.LittleEndian.PutUint64(m.mem[addr:], uint64(t.Regs[ins.Rs2]))
+				binary.LittleEndian.PutUint64(mem[addr:], uint64(regs[ins.rs2]))
 			}
 
-		case STBS, STWS:
+		case dSTS:
 			t.Stores++
-			c += cost.StoreCheck
-			addr := t.Regs[ins.Rs1] + ins.Imm
+			addr := regs[ins.rs1] + ins.imm
 			size := int64(1)
-			if ins.Op == STWS {
+			if ins.flags&dfWord != 0 {
 				size = 8
 			}
 			if !m.validAddr(addr, size) {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: spec store at %d out of range (PC %d)", addr, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: spec store at %d out of range (PC %d)", addr, pc))
 			}
 			m.touchPage(addr)
 			var fresh int
-			if ins.Op == STBS {
-				if t.Cow.StoreByte(m.mem, addr, byte(t.Regs[ins.Rs2])) {
+			if ins.flags&dfWord == 0 {
+				if t.Cow.StoreByte(mem, addr, byte(regs[ins.rs2])) {
 					fresh = 1
 				}
 			} else {
-				fresh = t.Cow.StoreWord(m.mem, addr, t.Regs[ins.Rs2])
+				fresh = t.Cow.StoreWord(mem, addr, regs[ins.rs2])
 			}
-			c += int64(fresh) * cost.CopyPer8B * int64(m.cfg.COWRegion) / 8
+			c += int64(fresh) * m.cowCopyCost
 
-		case BEQ:
-			if t.Regs[ins.Rs1] == t.Regs[ins.Rs2] {
-				nextPC = ins.Imm
+		case dBEQ:
+			if regs[ins.rs1] == regs[ins.rs2] {
+				nextPC = ins.imm
 			}
-		case BNE:
-			if t.Regs[ins.Rs1] != t.Regs[ins.Rs2] {
-				nextPC = ins.Imm
+		case dBNE:
+			if regs[ins.rs1] != regs[ins.rs2] {
+				nextPC = ins.imm
 			}
-		case BLT:
-			if t.Regs[ins.Rs1] < t.Regs[ins.Rs2] {
-				nextPC = ins.Imm
+		case dBLT:
+			if regs[ins.rs1] < regs[ins.rs2] {
+				nextPC = ins.imm
 			}
-		case BGE:
-			if t.Regs[ins.Rs1] >= t.Regs[ins.Rs2] {
-				nextPC = ins.Imm
+		case dBGE:
+			if regs[ins.rs1] >= regs[ins.rs2] {
+				nextPC = ins.imm
 			}
-		case JMP:
-			nextPC = ins.Imm
-		case CALL:
-			t.set(RA, t.PC+1)
-			nextPC = ins.Imm
-		case JR:
-			nextPC = t.Regs[ins.Rs1]
-		case CALLR:
-			t.set(RA, t.PC+1)
-			nextPC = t.Regs[ins.Rs1]
-		case RET:
-			nextPC = t.Regs[RA]
+		case dJMP:
+			if ins.flags&dfLink != 0 {
+				regs[RA] = pc + 1
+			}
+			nextPC = ins.imm
+		case dJR:
+			if ins.flags&dfLink != 0 {
+				regs[RA] = pc + 1
+			}
+			nextPC = regs[ins.rs1]
 
-		case JRH, CALLRH, RETH:
-			c += cost.Handler
-			var target int64
-			switch ins.Op {
-			case RETH:
-				target = t.Regs[RA]
-			default:
-				target = t.Regs[ins.Rs1]
-			}
+		case dJRH:
+			target := regs[ins.rs1]
 			mapped, ok := m.redirect(target)
 			if !ok {
 				// The handling routine prevents the speculating thread from
 				// leaving the shadow code: halt this speculation.
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: unmappable indirect target %d (PC %d)", target, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: unmappable indirect target %d (PC %d)", target, pc))
 			}
-			if ins.Op == CALLRH {
-				t.set(RA, t.PC+1)
+			if ins.flags&dfLink != 0 {
+				regs[RA] = pc + 1
 			}
 			nextPC = mapped
 
-		case JTR:
-			c += cost.JumpTable
-			target := t.Regs[ins.Rs1]
+		case dJTR:
+			target := regs[ins.rs1]
 			mapped, ok := m.redirect(target)
 			if !ok {
 				used += c
-				return m.finish(t, used, m.fault(t, "vm: jump-table target %d unmappable (PC %d)", target, t.PC))
+				t.PC = pc
+				return m.finish(t, used, m.fault(t, "vm: jump-table target %d unmappable (PC %d)", target, pc))
 			}
 			nextPC = mapped
 
-		case SYSCALL:
-			c = cost.Syscall
+		case dSYSCALL:
 			t.PC = nextPC // resume after the syscall on wake
 			used += c
 			m.sliceUsed = used
-			verdict := m.os.Syscall(m, t, ins.Imm)
+			verdict := m.os.Syscall(m, t, ins.imm)
 			if t.PendingCycles > 0 {
 				used += t.PendingCycles
 				t.PendingCycles = 0
@@ -692,6 +733,7 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 				if used >= budget {
 					return m.finish(t, used, StopBudget)
 				}
+				pc = t.PC // the OS may have repositioned the thread
 				continue
 			case SysYield:
 				return m.finish(t, used, StopYield)
@@ -702,33 +744,38 @@ func (m *Machine) Run(t *Thread, budget int64) (int64, StopReason) {
 				t.State = Halted
 				return m.finish(t, used, StopHalted)
 			case SysFault:
-				return m.finish(t, used, m.fault(t, "vm: forbidden syscall %s at PC %d", SyscallName(ins.Imm), t.PC-1))
+				return m.finish(t, used, m.fault(t, "vm: forbidden syscall %s at PC %d", SyscallName(ins.imm), t.PC-1))
 			}
 
 		default:
 			used += c
-			return m.finish(t, used, m.fault(t, "vm: illegal opcode %v at PC %d", ins.Op, t.PC))
+			t.PC = pc
+			return m.finish(t, used, m.fault(t, "vm: illegal opcode %v at PC %d", m.text[pc].Op, pc))
 		}
 
 		// Stack-pointer discipline: SpecHint places dynamic checks on
 		// SP-modifying instructions so the speculative stack stays private;
-		// for normal threads this doubles as overflow detection.
-		if ins.Rd == SP && ins.Op != NOP && !ins.Op.IsStore() {
-			sp := t.Regs[SP]
+		// for normal threads this doubles as overflow detection. The
+		// predicate (Rd == SP on a non-store) is pre-decoded into a flag.
+		if ins.flags&dfCheckSP != 0 {
+			sp := regs[SP]
 			if t.Mode == Speculative {
 				lo, hi := m.SpecStackBounds()
 				if sp < lo || sp > hi {
 					used += c
+					t.PC = pc
 					return m.finish(t, used, m.fault(t, "vm: spec SP %d out of bounds", sp))
 				}
 			} else if sp < m.cfg.MemSize-m.cfg.StackSize || sp > m.cfg.MemSize {
 				used += c
+				t.PC = pc
 				return m.finish(t, used, m.fault(t, "vm: stack overflow, SP %d", sp))
 			}
 		}
 
-		t.PC = nextPC
+		pc = nextPC
 		used += c
 	}
+	t.PC = pc
 	return m.finish(t, used, StopBudget)
 }
