@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint speclint synth fuzz smoke-faults smoke-cluster smoke-overload smoke-speed ci bench bench-check bench-trace
+.PHONY: all build test race vet fmt lint speclint synth fuzz smoke-faults smoke-cluster smoke-overload smoke-speed smoke-replay ci bench bench-check bench-trace
 
 all: build
 
@@ -57,6 +57,12 @@ smoke-cluster:
 smoke-overload:
 	$(GO) run ./cmd/tipbench -overload -scale test -json BENCH_overload_test.json
 
+# smoke-replay runs the trace-replay grid (modern apps in all modes plus the
+# capture→replay round trip) at test scale; the run itself fails on a
+# non-exact round trip.
+smoke-replay:
+	$(GO) run ./cmd/tipbench -replay -scale test -json BENCH_replay_test.json
+
 # smoke-speed measures event-loop/VM/end-to-end throughput at test scale.
 # Wall numbers are machine-dependent; the committed trajectory lives in
 # bench/results/BENCH_speed.json (regenerate at full scale when the fast
@@ -64,7 +70,7 @@ smoke-overload:
 smoke-speed:
 	$(GO) run ./cmd/tipbench -speed -scale test -json BENCH_speed_test.json
 
-ci: lint fmt build race speclint synth smoke-faults smoke-cluster smoke-overload smoke-speed fuzz
+ci: lint fmt build race speclint synth smoke-faults smoke-cluster smoke-overload smoke-speed smoke-replay fuzz
 
 # bench regenerates the canonical full-scale multiprogramming sweep into the
 # committed baseline under bench/results/ (expect minutes). Scratch runs that

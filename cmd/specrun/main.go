@@ -13,17 +13,26 @@
 //	specrun -file prog.s -faults rate=0.05,seed=7  # inject disk faults
 //	specrun -file prog.s -deadline 500000000     # abort after 5e8 cycles (exit 3)
 //	specrun -file prog.s -trace-json t.json      # cross-layer trace for chrome://tracing
+//	specrun -trace-file app.trace -mode spec     # compile + replay a captured trace
+//	specrun -file prog.s -capture out.trace      # record the read stream as a trace
 //
 // Files from -dir are loaded into the simulated file system under their
 // relative paths, so the program's open() calls can name them directly.
+//
+// Instead of assembly source, -trace-file accepts a captured I/O trace
+// (internal/trace line format: open/read/think/close records). The trace is
+// compiled into a replay program that runs in any mode; files the trace
+// reads that -dir did not provide are synthesized at the right sizes. A
+// malformed trace is a tool error: specrun exits 1 and the message carries
+// the offending line number ("trace: line N: ...").
 //
 // Exit codes (tool status and program status are kept separate — the
 // simulated program's exit code is reported in the stderr summary and the
 // -json document, never as specrun's own):
 //
 //	0  run completed and the program exited 0
-//	1  tool error (bad source, I/O error, simulation failure)
-//	2  usage error
+//	1  tool error (bad source, malformed trace, I/O error, simulation failure)
+//	2  usage error (including -file and -trace-file both present or both absent)
 //	3  virtual-cycle deadline exceeded
 //	4  run completed but the program exited nonzero
 package main
@@ -44,12 +53,14 @@ import (
 	"spechint/internal/fsim"
 	"spechint/internal/obs"
 	"spechint/internal/spechint"
+	itrace "spechint/internal/trace"
+	"spechint/internal/vm"
 	"spechint/internal/workload"
 )
 
 func main() {
 	var (
-		file   = flag.String("file", "", "assembly source file (required)")
+		file   = flag.String("file", "", "assembly source file (this or -trace-file is required)")
 		mode   = flag.String("mode", "orig", "orig, spec, or manual")
 		disks  = flag.Int("disks", 4, "disks in the array")
 		cache  = flag.Int("cache", 12, "file cache size in MB")
@@ -63,20 +74,14 @@ func main() {
 			strings.Join(fault.Keys(), ", ")+")")
 		traceJSON   = flag.String("trace-json", "", "write the cross-layer trace as Chrome trace_event JSON to this file")
 		metricsJSON = flag.String("metrics-json", "", "write the sampled metric time series as JSON to this file")
+		traceFile   = flag.String("trace-file", "", "captured I/O trace to compile and replay (instead of -file)")
+		captureF    = flag.String("capture", "", "write the run's read stream as a replayable trace to this file")
 	)
 	flag.Parse()
-	if *file == "" {
+	if (*file == "") == (*traceFile == "") {
+		fmt.Fprintln(os.Stderr, "specrun: exactly one of -file or -trace-file is required")
 		flag.Usage()
 		os.Exit(2)
-	}
-
-	src, err := os.ReadFile(*file)
-	if err != nil {
-		fail(err)
-	}
-	prog, err := asm.Assemble(string(src))
-	if err != nil {
-		fail(err)
 	}
 
 	var m core.Mode
@@ -87,6 +92,36 @@ func main() {
 		m = core.ModeManual
 	case "spec":
 		m = core.ModeSpeculating
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	// Resolve the program: assembly source, or a trace compiled to a replay
+	// program (the manual variant carries the hint oracle).
+	var prog *vm.Program
+	var replay *itrace.Trace
+	if *traceFile != "" {
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fail(err)
+		}
+		if replay, err = itrace.Parse(string(data)); err != nil {
+			fail(err)
+		}
+		if prog, err = asm.Assemble(itrace.Source(replay, m == core.ModeManual)); err != nil {
+			fail(err)
+		}
+	} else {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		if prog, err = asm.Assemble(string(src)); err != nil {
+			fail(err)
+		}
+	}
+	var err error
+	if m == core.ModeSpeculating {
 		var st spechint.Stats
 		prog, st, err = spechint.Transform(prog, spechint.DefaultOptions())
 		if err != nil {
@@ -94,14 +129,18 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "spechint: %d -> %d instructions, %d checks, %d hint sites\n",
 			st.OrigInstrs, st.TotalInstrs, st.ChecksAdded, st.HintSites)
-	default:
-		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
 	vfs := fsim.New(8192)
 	workload.SetBenchLayout(vfs)
 	if *dir != "" {
 		if err := loadDir(vfs, *dir); err != nil {
+			fail(err)
+		}
+	}
+	if replay != nil {
+		// Synthesize any file the trace reads that -dir did not provide.
+		if err := itrace.PopulateFS(vfs, replay); err != nil {
 			fail(err)
 		}
 	}
@@ -124,6 +163,11 @@ func main() {
 		tr = obs.New(obs.Config{})
 		cfg.Obs = tr
 	}
+	var capt *itrace.Capture
+	if *captureF != "" {
+		capt = &itrace.Capture{}
+		cfg.Capture = capt
+	}
 
 	sys, err := core.New(cfg, prog, vfs)
 	if err != nil {
@@ -144,6 +188,13 @@ func main() {
 	}
 	if *metricsJSON != "" {
 		writeExport(*metricsJSON, tr.MetricsJSON)
+	}
+	if capt != nil {
+		captured := capt.Trace()
+		if err := os.WriteFile(*captureF, []byte(itrace.Format(captured)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "capture: %d records -> %s\n", len(captured.Recs), *captureF)
 	}
 
 	if *jsonF {

@@ -15,6 +15,7 @@
 //	tipbench -exp table4 -trace-json trace.json -trace-app gnuld
 //	tipbench -exp multi -trace-json trace.json   # trace a speculating group
 //	tipbench -exp fig5 -parallel 4               # bound the worker pool
+//	tipbench -replay -scale test -json BENCH_replay.json  # trace-replay grid + round trip
 //	tipbench -check bench/results/BENCH_multi.json
 package main
 
@@ -51,6 +52,8 @@ func main() {
 			"comma-separated shard counts for -cluster (default 1,2,4,8,16)")
 		speedFlag = flag.Bool("speed", false,
 			"measure event-loop/VM/end-to-end wall-clock throughput and print its JSON to stdout (or to -json's file)")
+		replayFlag = flag.Bool("replay", false,
+			"run the trace-replay grid (modern apps, all modes, capture→replay round trip) and print its JSON to stdout (or to -json's file)")
 		overloadFlag = flag.Bool("overload", false,
 			"run the overload sweep (admission control, shedding, failover) and print its JSON to stdout (or to -json's file)")
 		shedFlag = flag.String("shed", "both",
@@ -133,6 +136,25 @@ func main() {
 		out, err := bench.SpeedJSONBytes(scale, *scaleFlag)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tipbench: speed: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *jsonFlag != "" {
+			if err := os.WriteFile(*jsonFlag, out, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "tipbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonFlag)
+			return
+		}
+		os.Stdout.Write(out)
+		return
+	}
+
+	if *replayFlag {
+		out, err := bench.ReplayJSON(scale, *scaleFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tipbench: replay: %v\n", err)
 			os.Exit(1)
 		}
 		out = append(out, '\n')
@@ -303,6 +325,10 @@ func parseApp(name string) (apps.App, error) {
 		return apps.XDataSlice, nil
 	case "postgres":
 		return apps.Postgres, nil
+	case "lsm":
+		return apps.LSM, nil
+	case "mlshard", "ml":
+		return apps.MLShard, nil
 	}
-	return 0, fmt.Errorf("unknown app %q (want agrep, gnuld, xds or postgres)", name)
+	return 0, fmt.Errorf("unknown app %q (want agrep, gnuld, xds, postgres, lsm or mlshard)", name)
 }

@@ -22,6 +22,7 @@ import (
 	"spechint/internal/fsim"
 	"spechint/internal/par"
 	"spechint/internal/spechint"
+	"spechint/internal/trace"
 	"spechint/internal/vm"
 	"spechint/internal/workload"
 )
@@ -34,6 +35,10 @@ const (
 	Gnuld
 	XDataSlice
 	Postgres
+	// The modern suite (ROADMAP item 4): trace-built applications compiled
+	// through the internal/trace replay frontend.
+	LSM
+	MLShard
 )
 
 func (a App) String() string {
@@ -46,6 +51,10 @@ func (a App) String() string {
 		return "XDataSlice"
 	case Postgres:
 		return "Postgres"
+	case LSM:
+		return "LSM"
+	case MLShard:
+		return "MLShard"
 	}
 	return "unknown"
 }
@@ -105,6 +114,14 @@ func BuildOn(fs *fsim.FS, app App, scale Scale) (*Bundle, error) {
 		outer, inner := spec.Build(fs)
 		origSrc = PostgresSource(outer, inner, spec, false)
 		manSrc = PostgresSource(outer, inner, spec, true)
+	case LSM:
+		tr := scale.LSM.Build(fs)
+		origSrc = trace.Source(tr, false)
+		manSrc = trace.Source(tr, true)
+	case MLShard:
+		tr := scale.MLShard.Build(fs)
+		origSrc = trace.Source(tr, false)
+		manSrc = trace.Source(tr, true)
 	default:
 		return nil, fmt.Errorf("apps: unknown app %d", app)
 	}
@@ -178,6 +195,8 @@ type Scale struct {
 	Gnuld    workload.GnuldSpec
 	XDS      workload.XDSSpec
 	Postgres workload.PostgresSpec
+	LSM      workload.LSMSpec
+	MLShard  workload.MLShardSpec
 }
 
 // FullScale is the benchmark scale used for the paper's tables and figures.
@@ -187,15 +206,25 @@ func FullScale() Scale {
 		Gnuld:    workload.DefaultGnuld(),
 		XDS:      workload.DefaultXDS(),
 		Postgres: workload.DefaultPostgres(20),
+		LSM:      workload.DefaultLSM(),
+		MLShard:  workload.DefaultMLShard(),
 	}
 }
 
 // SweepScale is FullScale with lighter XDataSlice and Gnuld inputs, for the
 // parameter-sweep experiments (Figures 5 and 6 run dozens of full runs).
+// The trace-built apps shrink too: their replay programs embed one table
+// record per access, so sweep cells stay cheap to assemble and run.
 func SweepScale() Scale {
 	s := FullScale()
 	s.XDS.NumSlices = 12
 	s.Gnuld.NumFiles = 120
+	s.LSM.TableSize = 1 << 20
+	s.LSM.ChunkSize = 64 << 10
+	s.LSM.Lookups = 32
+	s.MLShard.Shards = 8
+	s.MLShard.ShardSize = 1 << 20
+	s.MLShard.ReadSize = 32 << 10
 	return s
 }
 
@@ -215,6 +244,10 @@ func (s Scale) WithProcess(i int, seedStep int64) Scale {
 	s.XDS.Seed += step
 	s.Postgres.Prefix = prefix
 	s.Postgres.Seed += step
+	s.LSM.Prefix = prefix
+	s.LSM.Seed += step
+	s.MLShard.Prefix = prefix
+	s.MLShard.Seed += step
 	return s
 }
 
@@ -225,5 +258,7 @@ func TestScale() Scale {
 		Gnuld:    workload.GnuldSpec{NumFiles: 12, NumSections: 3, SectionSize: 4000, SymtabSize: 512, StrtabSize: 256, Seed: 2},
 		XDS:      workload.XDSSpec{N: 64, NumSlices: 6, Seed: 3},
 		Postgres: workload.PostgresSpec{OuterTuples: 2000, InnerTuples: 4000, InnerSize: 256, Selectivity: 30, Seed: 4},
+		LSM:      workload.LSMSpec{L0Tables: 2, L1Tables: 2, TableSize: 64 << 10, ChunkSize: 16 << 10, Lookups: 8, Seed: 5},
+		MLShard:  workload.MLShardSpec{Shards: 4, ShardSize: 128 << 10, ReadSize: 32 << 10, Epochs: 2, Seed: 6},
 	}
 }

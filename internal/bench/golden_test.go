@@ -51,7 +51,8 @@ func goldenStats(t *testing.T, app apps.App, mode core.Mode) []byte {
 // shows up here as a diff; run `go test ./internal/bench -run Golden
 // -update` to re-canonize on purpose and let review see the delta.
 func TestGoldenRunStats(t *testing.T) {
-	for _, app := range Apps {
+	suite := append(append([]apps.App{}, Apps...), ModernApps...)
+	for _, app := range suite {
 		for _, mode := range goldenModes() {
 			app, mode := app, mode
 			t.Run(fmt.Sprintf("%v/%v", app, mode), func(t *testing.T) {

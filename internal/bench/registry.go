@@ -69,6 +69,7 @@ var Registry = map[string]Experiment{
 	"static":     {Name: "static", Desc: "statically synthesized hints vs original and manual (static-analysis extension)", Run: scaleExp(Static)},
 	"cluster":    {Name: "cluster", Desc: "sharded TIP service: throughput, latency tails, fairness vs shard count", Run: scaleExp(Cluster), Heavy: true},
 	"overload":   {Name: "overload", Desc: "overload-safe cluster: admission control, load shedding, shard failover", Run: scaleExp(Overload), Heavy: true},
+	"replay":     {Name: "replay", Desc: "trace replay: modern apps in all modes + capture→replay round trip", Run: scaleExp(Replay)},
 }
 
 // Names returns experiment ids in stable order.

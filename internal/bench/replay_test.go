@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spechint/internal/apps"
+	"spechint/internal/core"
+)
+
+// TestReplayRoundTrip is the capture→replay differential wall: for every
+// canonical app, replaying the captured trace must touch the disk with a
+// block-for-block identical access sequence, and both runs' stall buckets
+// must sum to their elapsed time.
+func TestReplayRoundTrip(t *testing.T) {
+	for _, app := range Apps {
+		app := app
+		t.Run(app.String(), func(t *testing.T) {
+			t.Parallel()
+			rt, err := RoundTrip(app, apps.TestScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Reads == 0 {
+				t.Fatal("captured no reads; round trip is vacuous")
+			}
+			if !rt.Exact {
+				t.Errorf("replayed disk access sequence diverged (%d reads, %d records)",
+					rt.Reads, rt.Records)
+			}
+			if !rt.BucketsOK {
+				t.Error("stall buckets do not sum to elapsed")
+			}
+		})
+	}
+}
+
+// TestReplayModernWhoWins pins the headline result: on the readahead-hostile
+// modern apps, speculation must beat the original run.
+func TestReplayModernWhoWins(t *testing.T) {
+	for _, app := range ModernApps {
+		app := app
+		t.Run(app.String(), func(t *testing.T) {
+			t.Parallel()
+			orig, _, err := Run(app, core.ModeNoHint, apps.TestScale(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, _, err := Run(app, core.ModeSpeculating, apps.TestScale(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spec.ExitCode != orig.ExitCode {
+				t.Fatalf("speculating exit %d != original %d", spec.ExitCode, orig.ExitCode)
+			}
+			if spec.Elapsed >= orig.Elapsed {
+				t.Errorf("speculating (%d cycles) does not beat original (%d)",
+					spec.Elapsed, orig.Elapsed)
+			}
+			if spec.HintedReads == 0 {
+				t.Error("speculating run hinted no reads")
+			}
+		})
+	}
+}
+
+// replayGoldenPath is the committed canon for the test-scale replay report.
+var replayGoldenPath = filepath.Join(goldenDir, "replay_small.json")
+
+// TestGoldenReplay byte-compares the test-scale replay report against the
+// committed canon; re-canonize deliberately with:
+//
+//	go test ./internal/bench -run GoldenReplay -update
+func TestGoldenReplay(t *testing.T) {
+	got, err := ReplayJSON(apps.TestScale(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(replayGoldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(replayGoldenPath)
+	if err != nil {
+		t.Fatalf("no golden file (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s diverged from the golden run (%d bytes vs %d).\n"+
+			"If the change is intentional, re-canonize with:\n"+
+			"  go test ./internal/bench -run GoldenReplay -update\nfirst difference at byte %d",
+			replayGoldenPath, len(got), len(want), firstDiff(got, want))
+	}
+	// The canon itself must carry the headline shape: speculation wins on
+	// every modern app and every round trip is exact.
+	var rep ReplayReport
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Points {
+		if p.Mode == "speculating" && p.ImprovementPct <= 0 {
+			t.Errorf("%s: canonical speculating improvement %.1f%% is not positive",
+				p.App, p.ImprovementPct)
+		}
+		if !p.BucketsOK {
+			t.Errorf("%s/%s: canonical stall buckets do not sum", p.App, p.Mode)
+		}
+	}
+	for _, rt := range rep.RoundTrip {
+		if !rt.Exact {
+			t.Errorf("%s: canonical round trip not exact", rt.App)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"spechint/internal/obs"
 	"spechint/internal/sim"
 	"spechint/internal/tip"
+	"spechint/internal/trace"
 	"spechint/internal/vm"
 )
 
@@ -146,6 +147,13 @@ type Config struct {
 	// the run is expected to consume them (TIP bypasses — and penalizes —
 	// out-of-order segments). Ignored in every other mode.
 	StaticHints []StaticHint
+
+	// Capture, when non-nil, records the original thread's read stream as a
+	// replayable trace (internal/trace): one record per read call, with the
+	// compute cycles since the previous read as think time. Purely
+	// observational — capturing changes no run's cycle count — and works in
+	// every mode (only the original thread's demand reads are recorded).
+	Capture *trace.Capture
 }
 
 // StaticHint is one statically synthesized disclosure: a future read of
@@ -511,12 +519,13 @@ type System struct {
 	obs           *obs.Trace // cross-layer stream (nil = untraced)
 	watchdogErr   error      // fatal inconsistency caught by the deadlock watchdog
 
-	stats          RunStats
-	final          *RunStats // cached by Finalize
-	lastOrigReadAt int64
-	lastSpecHintAt int64
-	sawSpecHint    bool
-	sawOrigRead    bool
+	stats           RunStats
+	final           *RunStats // cached by Finalize
+	lastOrigReadAt  int64
+	lastSpecHintAt  int64
+	sawSpecHint     bool
+	sawOrigRead     bool
+	lastCaptureBusy int64 // original-thread busy cycles at the last captured read
 }
 
 // New builds a System for prog over fs, on a private substrate. In

@@ -178,6 +178,15 @@ func (s *System) origRead(m *vm.Machine, t *vm.Thread) vm.SysControl {
 	s.sawOrigRead = true
 	s.lastOrigReadAt = now
 
+	if s.cfg.Capture != nil {
+		// Record the read exactly as issued (requested length, not the
+		// short-read result) with the compute since the previous one as
+		// think time; internal/trace normalizes opens and closes from the
+		// path switches.
+		s.cfg.Capture.Read(file.Name, off, reqLen, now-s.lastCaptureBusy)
+		s.lastCaptureBusy = now
+	}
+
 	hinted := false
 	if s.cfg.Mode == ModeSpeculating {
 		t.PendingCycles += s.cfg.HintLogCheckCycles

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"testing"
+
+	"spechint/internal/analysis"
+	"spechint/internal/asm"
+	"spechint/internal/spechint"
+)
+
+// FuzzTraceParse is the parser's native fuzz wall: Parse never panics, and
+// anything it accepts must compile — through both code-generator variants,
+// the assembler, and the SpecHint transform — into a program with zero
+// speclint findings. The seed corpus below is extended by the committed
+// files under testdata/fuzz/FuzzTraceParse.
+func FuzzTraceParse(f *testing.F) {
+	f.Add("open a\nread 0 8192\nclose\n")
+	f.Add("# comment\nopen data/x.bin\nthink 100\nread 4096 100\nread 0 1\nclose\nopen y\nclose\n")
+	f.Add("open a\nread 0 1048576\nthink 1099511627776\nclose\n")
+	f.Add("read 0 10\n")
+	f.Add("open a\nopen b\n")
+	f.Add("close\n")
+	f.Add("think -1\n")
+	f.Add("open \x00\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics and false accepts are not
+		}
+		// Accepted: the trace must compile cleanly in both variants.
+		for _, manual := range []bool{false, true} {
+			prog, err := asm.Assemble(Source(tr, manual))
+			if err != nil {
+				t.Fatalf("accepted trace failed to assemble (manual=%v): %v\ntrace:\n%s", manual, err, Format(tr))
+			}
+			if manual {
+				continue
+			}
+			opt := spechint.DefaultOptions()
+			transformed, _, err := spechint.Transform(prog, opt)
+			if err != nil {
+				t.Fatalf("accepted trace failed to transform: %v\ntrace:\n%s", err, Format(tr))
+			}
+			if findings := analysis.Lint(transformed, opt); len(findings) != 0 {
+				t.Fatalf("speclint findings on accepted trace: %v\ntrace:\n%s", findings, Format(tr))
+			}
+		}
+		// And the canonical form must be stable.
+		tr2, err := Parse(Format(tr))
+		if err != nil {
+			t.Fatalf("canonical text rejected: %v\n%s", err, Format(tr))
+		}
+		if Format(tr2) != Format(tr) {
+			t.Fatalf("Format not idempotent:\n%q\nvs\n%q", Format(tr), Format(tr2))
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package trace_test
+
+// The replay property wall: for ANY valid trace, the speculating run of its
+// compiled program preserves the original run's observable output — exit
+// digest and printed bytes — across random seeds and under every
+// recoverable fault plan. This is the chaos-harness contract extended to
+// arbitrary captured workloads: speculation and fault containment must be
+// invisible no matter what access pattern the trace throws at them.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spechint/internal/asm"
+	"spechint/internal/core"
+	"spechint/internal/fault"
+	"spechint/internal/fsim"
+	"spechint/internal/spechint"
+	"spechint/internal/trace"
+	"spechint/internal/workload"
+)
+
+// genTrace builds a random but valid trace over a handful of files.
+func genTrace(seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	paths := []string{"gen/a.bin", "gen/b.bin", "gen/c.bin"}
+	sizes := []int64{64 << 10, 128 << 10, 256 << 10}
+	c := &trace.Capture{}
+	nReads := 30 + rng.Intn(50)
+	for i := 0; i < nReads; i++ {
+		p := rng.Intn(len(paths))
+		off := rng.Int63n(sizes[p])
+		n := 1 + rng.Int63n(16<<10)
+		think := int64(0)
+		if rng.Intn(3) > 0 {
+			think = rng.Int63n(50_000)
+		}
+		// Reads may run past EOF (short reads) — the replay must cope.
+		c.Read(paths[p], off, n, think)
+	}
+	return c.Trace()
+}
+
+// replayRun compiles and runs tr in the given mode over a freshly populated
+// file system, optionally under a fault plan.
+func replayRun(t *testing.T, tr *trace.Trace, mode core.Mode, plan string) *core.RunStats {
+	t.Helper()
+	src := trace.Source(tr, mode == core.ModeManual)
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if mode == core.ModeSpeculating {
+		if prog, _, err = spechint.Transform(prog, spechint.DefaultOptions()); err != nil {
+			t.Fatalf("transform: %v", err)
+		}
+	}
+	fs := fsim.New(8192)
+	workload.SetBenchLayout(fs)
+	if err := trace.PopulateFS(fs, tr); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(mode)
+	if plan != "" {
+		if cfg.Faults, err = fault.Parse(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := core.New(cfg, prog, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sys.Run()
+	if err != nil {
+		t.Fatalf("mode %v plan %q: %v", mode, plan, err)
+	}
+	if st.Buckets.Total() != int64(st.Elapsed) {
+		t.Fatalf("mode %v plan %q: buckets sum %d != elapsed %d", mode, plan, st.Buckets.Total(), st.Elapsed)
+	}
+	return st
+}
+
+// recoverableReplayPlans mirror the chaos harness's no-death schedules:
+// every demand read eventually succeeds, so output must be bit-identical.
+var recoverableReplayPlans = []string{
+	"seed=11,rate=0.02",
+	"seed=23,rate=0.05,burst=3,spike=0.05x6",
+}
+
+// TestReplaySpeculationPreservesOutput is the core property: speculating
+// replay == original replay, for every seed and recoverable fault plan.
+func TestReplaySpeculationPreservesOutput(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			tr := genTrace(seed)
+			base := replayRun(t, tr, core.ModeNoHint, "")
+			if base.ReadCalls == 0 {
+				t.Fatal("generated trace issued no reads; property is vacuous")
+			}
+			for _, mode := range []core.Mode{core.ModeSpeculating, core.ModeManual} {
+				st := replayRun(t, tr, mode, "")
+				if st.ExitCode != base.ExitCode || st.Output != base.Output {
+					t.Errorf("%v diverged from original: exit %d vs %d", mode, st.ExitCode, base.ExitCode)
+				}
+			}
+			for _, plan := range recoverableReplayPlans {
+				for _, mode := range []core.Mode{core.ModeNoHint, core.ModeSpeculating} {
+					st := replayRun(t, tr, mode, plan)
+					if st.ExitCode != base.ExitCode || st.Output != base.Output {
+						t.Errorf("%v under %q diverged: exit %d vs %d", mode, plan, st.ExitCode, base.ExitCode)
+					}
+					if st.ReadErrors != 0 {
+						t.Errorf("%v under %q: %d reads surfaced EIO on a recoverable plan", mode, plan, st.ReadErrors)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplaySpeculationActuallyHints guards against a vacuous property: on
+// a dense predictable trace the speculating run must hint most reads.
+func TestReplaySpeculationActuallyHints(t *testing.T) {
+	c := &trace.Capture{}
+	// A readahead-hostile but perfectly predictable stride.
+	for i := int64(0); i < 64; i++ {
+		c.Read("gen/stride.bin", (i*37)%64*8192, 8192, 20_000)
+	}
+	tr := c.Trace()
+	base := replayRun(t, tr, core.ModeNoHint, "")
+	st := replayRun(t, tr, core.ModeSpeculating, "")
+	if st.HintedReads < st.ReadCalls/2 {
+		t.Errorf("speculation hinted only %d of %d reads", st.HintedReads, st.ReadCalls)
+	}
+	if st.Elapsed >= base.Elapsed {
+		t.Errorf("speculating replay (%d cycles) not faster than original (%d)", st.Elapsed, base.Elapsed)
+	}
+}
+
+// TestReplayDeterminism: the same trace reproduces cycle-for-cycle.
+func TestReplayDeterminism(t *testing.T) {
+	tr := genTrace(99)
+	for _, mode := range []core.Mode{core.ModeNoHint, core.ModeSpeculating} {
+		a := replayRun(t, tr, mode, "")
+		b := replayRun(t, tr, mode, "")
+		if a.Elapsed != b.Elapsed || a.ExitCode != b.ExitCode {
+			t.Errorf("%v: same trace diverged: %d/%d vs %d/%d cycles",
+				mode, a.Elapsed, a.ExitCode, b.Elapsed, b.ExitCode)
+		}
+	}
+}
